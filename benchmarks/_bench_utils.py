@@ -1,0 +1,77 @@
+"""Shared helpers for the benchmark suite (imported by each bench module).
+
+Matchers are expensive to build at Card(C) = 10^6, so built workloads are
+cached for the whole benchmark session.
+
+Scale control: set ``REPRO_BENCH_SCALE=quick`` to cap Card(C) at 10^5
+(useful while iterating); the default is the paper's full scale (10^6).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Tuple
+
+from repro.core import AESMatcher
+from repro.webworld import SyntheticWorkload, WorkloadParams
+
+QUICK = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "quick"
+
+#: Cap applied to Card(C) in quick mode.
+QUICK_CARD_C_CAP = 100_000
+
+
+def scaled_card_c(card_c: int) -> int:
+    return min(card_c, QUICK_CARD_C_CAP) if QUICK else card_c
+
+
+_matcher_cache: Dict[Tuple, object] = {}
+_workload_cache: Dict[Tuple, SyntheticWorkload] = {}
+
+
+def get_workload(**kwargs) -> SyntheticWorkload:
+    params = WorkloadParams(**kwargs)
+    key = ("workload", params)
+    if key not in _workload_cache:
+        _workload_cache[key] = SyntheticWorkload(params)
+    return _workload_cache[key]
+
+
+def get_matcher(matcher_factory=AESMatcher, **kwargs):
+    params = WorkloadParams(**kwargs)
+    key = ("matcher", matcher_factory.__name__, params)
+    if key not in _matcher_cache:
+        workload = get_workload(**kwargs)
+        _matcher_cache[key] = workload.build(matcher_factory)
+    return _matcher_cache[key]
+
+
+def drop_matcher(matcher_factory, **kwargs) -> None:
+    """Evict a cached matcher (memory benchmarks build their own)."""
+    params = WorkloadParams(**kwargs)
+    _matcher_cache.pop(("matcher", matcher_factory.__name__, params), None)
+
+
+def time_per_document_us(
+    matcher, document_sets: List[List[int]], repeats: int = 3
+) -> float:
+    """Average matching time per document in microseconds (best of N runs,
+    which filters out scheduling noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for event_set in document_sets:
+            matcher.match(event_set)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best / len(document_sets) * 1e6
+
+
+def print_series(title: str, header: str, rows: List[str]) -> None:
+    """Paper-style series printout (shown with ``pytest -s``)."""
+    print()
+    print(f"== {title} ==")
+    print(header)
+    for row in rows:
+        print(row)

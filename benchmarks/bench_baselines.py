@@ -1,0 +1,94 @@
+"""T-base — AES against the alternative algorithms (Section 4.1).
+
+The paper: "before selecting this particular algorithm, we considered
+alternatives ... A critical factor is the number of complex events
+interested in a specific atomic condition [k].  An interesting candidate
+algorithm we considered turned out to be exponential in that factor."  The
+full automaton is dismissed as having a prohibitive number of states.
+
+Reproduction: AES vs (a) the naive per-subscription scan — O(Card(C)·c̄)
+per document — and (b) the counting/inverted-index strategy — O(s·k) per
+document.  Expected shapes:
+
+* naive degrades linearly with Card(C): AES wins by orders of magnitude at
+  Card(C) ≥ 10^5;
+* counting degrades linearly with k while AES grows ~log k, so the gap
+  widens as Card(C)/Card(A) grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import (
+    get_matcher,
+    get_workload,
+    print_series,
+    time_per_document_us,
+)
+from repro.core import AESMatcher, CountingMatcher, NaiveMatcher
+
+CARD_A = 100_000
+S = 20
+CARD_C_VALUES = (1_000, 10_000, 100_000)
+ENGINES = {
+    "aes": AESMatcher,
+    "counting": CountingMatcher,
+    "naive": NaiveMatcher,
+}
+
+_results: dict = {}
+
+
+def _params(card_c):
+    return dict(card_a=CARD_A, card_c=card_c, c_min=2, c_max=4, s=S, seed=47)
+
+
+@pytest.mark.parametrize("card_c", CARD_C_VALUES)
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_engine_time_per_doc(benchmark, engine, card_c):
+    matcher = get_matcher(ENGINES[engine], **_params(card_c))
+    workload = get_workload(**_params(card_c))
+    # The naive engine is slow; keep the per-point document count small.
+    documents = workload.document_event_sets(30 if engine == "naive" else 200)
+
+    def run():
+        for event_set in documents:
+            matcher.match(event_set)
+
+    benchmark(run)
+    _results[(engine, card_c)] = time_per_document_us(matcher, documents)
+
+
+def test_baselines_report_and_shape(benchmark):
+    benchmark(lambda: None)
+    rows = []
+    for card_c in CARD_C_VALUES:
+        row = f"Card(C)={card_c:>9,}  "
+        row += "  ".join(
+            f"{engine}={_results.get((engine, card_c), float('nan')):10.1f}us"
+            for engine in sorted(ENGINES)
+        )
+        rows.append(row)
+    print_series(
+        "T-base: time per document by algorithm",
+        f"Card(A)={CARD_A:,}, s={S}, c in [2,4]",
+        rows,
+    )
+    if any(
+        (engine, card_c) not in _results
+        for engine in ENGINES
+        for card_c in CARD_C_VALUES
+    ):
+        return
+    largest = CARD_C_VALUES[-1]
+    # AES beats the naive scan by orders of magnitude at 10^5 subscriptions.
+    assert _results[("naive", largest)] > _results[("aes", largest)] * 50
+    # Naive cost grows with Card(C) (roughly linearly).
+    assert (
+        _results[("naive", largest)]
+        > _results[("naive", CARD_C_VALUES[0])] * 10
+    )
+    # Counting is closer but still loses to AES as k grows
+    # (k = 3 * Card(C) / Card(A) = 3 at the largest point).
+    assert _results[("counting", largest)] > _results[("aes", largest)]

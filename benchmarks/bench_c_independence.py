@@ -1,0 +1,68 @@
+"""Text claim T-c — processing time is independent of c (for A >> s·c).
+
+Paper: "Then, we turned to the dependence on c.  We considered only the
+realistic case where A >> s·c.  Our tests showed that the complexity is
+independent of c for c ranging from 2 to 10."
+
+Reproduction: Card(A) = 10^6, Card(C) = 10^5, s = 20, c fixed per run at
+{2, 4, 6, 8, 10}.  Expected shape: the slowest c is within a small factor
+of the fastest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import (
+    get_matcher,
+    get_workload,
+    print_series,
+    time_per_document_us,
+)
+
+CARD_A = 1_000_000
+CARD_C = 100_000
+S = 20
+C_VALUES = (2, 4, 6, 8, 10)
+
+_results: dict = {}
+
+
+def _params(c):
+    return dict(card_a=CARD_A, card_c=CARD_C, c_min=c, c_max=c, s=S, seed=23)
+
+
+@pytest.mark.parametrize("c", C_VALUES)
+def test_c_independence(benchmark, c, bench_doc_count):
+    matcher = get_matcher(**_params(c))
+    workload = get_workload(**_params(c))
+    documents = workload.document_event_sets(bench_doc_count)
+
+    def run():
+        for event_set in documents:
+            matcher.match(event_set)
+
+    benchmark(run)
+    _results[c] = time_per_document_us(matcher, documents)
+
+
+def test_c_independence_report_and_shape(benchmark):
+    benchmark(lambda: None)
+    rows = [
+        f"c={c:>2}  time/doc={_results[c]:8.2f} us"
+        for c in C_VALUES
+        if c in _results
+    ]
+    print_series(
+        "T-c: time per document vs c (conjunction size)",
+        f"Card(A)={CARD_A:,}, Card(C)={CARD_C:,}, s={S}",
+        rows,
+    )
+    measured = [_results[c] for c in C_VALUES if c in _results]
+    if len(measured) < len(C_VALUES):
+        return
+    spread = max(measured) / min(measured)
+    assert spread < 3.0, (
+        f"time varies by {spread:.1f}x across c in 2..10; the paper reports"
+        " independence of c"
+    )

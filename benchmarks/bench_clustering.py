@@ -1,0 +1,83 @@
+"""T-cluster — domain-clustered data distribution (Section 2.1).
+
+Paper: "Data distribution is based on an automatic semantic classification
+of all DTDs.  The system tries to cluster as many documents as possible
+from the same domain on a single machine."
+
+Reproduction: store a mixed corpus (several domains + unclassified pages)
+into a 4-shard :class:`ClusteredRepository` and measure (a) domain
+locality — the fraction of classified documents on their domain's home
+shard — and (b) the shard balance.  Expected shape: locality = 100 % while
+overall load stays spread.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import print_series
+from repro.clock import SimulatedClock
+from repro.repository import ClusteredRepository, SemanticClassifier
+from repro.webworld import SiteGenerator, to_xml
+
+SHARDS = 4
+PER_DOMAIN = 40
+UNCLASSIFIED = 60
+
+_results: dict = {}
+
+
+def _build():
+    classifier = SemanticClassifier()
+    classifier.add_rule("culture", ["museum", "painting"])
+    classifier.add_rule("commerce", ["catalog", "Product"])
+    classifier.add_rule("team", ["members", "Member"])
+    clustered = ClusteredRepository(
+        shard_count=SHARDS,
+        classifier=classifier,
+        clock=SimulatedClock(0.0),
+    )
+    generator = SiteGenerator(seed=301)
+    for i in range(PER_DOMAIN):
+        clustered.store_xml(
+            f"http://m{i}.example/c.xml", to_xml(generator.museum(4))
+        )
+        clustered.store_xml(
+            f"http://s{i}.example/cat.xml", to_xml(generator.catalog(4))
+        )
+        clustered.store_xml(
+            f"http://t{i}.example/team.xml", to_xml(generator.members(3))
+        )
+    for i in range(UNCLASSIFIED):
+        clustered.store_xml(f"http://u{i}.example/x.xml", "<blob><x/></blob>")
+    return clustered
+
+
+def test_clustered_store(benchmark):
+    clustered = benchmark.pedantic(_build, rounds=1, iterations=1)
+    _results["locality"] = clustered.domain_locality()
+    _results["sizes"] = clustered.shard_sizes()
+    _results["culture_docs"] = len(clustered.documents_in_domain("culture"))
+
+
+def test_clustering_report_and_shape(benchmark):
+    benchmark(lambda: None)
+    sizes = _results.get("sizes", [])
+    rows = [
+        f"domain locality       : {_results.get('locality', 0):.1%}",
+        f"documents per shard   : {sizes}",
+        f"culture domain served by its home shard:"
+        f" {_results.get('culture_docs', 0)} documents",
+    ]
+    print_series(
+        "T-cluster: domain-clustered repository distribution",
+        f"{SHARDS} shards, 3 domains x {PER_DOMAIN} docs +"
+        f" {UNCLASSIFIED} unclassified",
+        rows,
+    )
+    if not sizes:
+        return
+    assert _results["locality"] == 1.0
+    total = sum(sizes)
+    assert max(sizes) < total  # load is spread, not piled on one shard
+    assert _results["culture_docs"] == PER_DOMAIN

@@ -1,0 +1,101 @@
+"""Figure 6 — time to process a document as a function of log k.
+
+Paper setup: "we ran our benchmark with for instance s = 20,
+Card(A) = 100000 and c̄ = 3.  We controlled the variation of k by varying
+Card(C) from 10000 to 1 million ... Figure 6 shows that the experimental
+dependency is O(s · log k)."
+
+Reproduction: same knobs; k = c̄ · Card(C) / Card(A) runs from 0.3 to 30.
+Expected shape: time per document grows far slower than k itself —
+multiplying k by 100 multiplies the time by a small factor (log-like), and
+time is increasing in k.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _bench_utils import (
+    get_matcher,
+    get_workload,
+    print_series,
+    scaled_card_c,
+    time_per_document_us,
+)
+
+CARD_A = 100_000
+S = 20
+CARD_C_VALUES = (10_000, 30_000, 100_000, 300_000, 1_000_000)
+
+_results: dict = {}
+
+
+def _params(card_c):
+    return dict(card_a=CARD_A, card_c=scaled_card_c(card_c), c_min=2,
+                c_max=4, s=S, seed=11)
+
+
+@pytest.mark.parametrize("card_c", CARD_C_VALUES)
+def test_fig6_time_per_doc(benchmark, card_c, bench_doc_count):
+    matcher = get_matcher(**_params(card_c))
+    workload = get_workload(**_params(card_c))
+    documents = workload.document_event_sets(bench_doc_count)
+
+    def run():
+        for event_set in documents:
+            matcher.match(event_set)
+
+    benchmark(run)
+    per_doc_us = time_per_document_us(matcher, documents)
+    k = 3.0 * scaled_card_c(card_c) / CARD_A
+    _results[card_c] = (k, per_doc_us)
+
+
+def test_fig6_report_and_shape(benchmark):
+    benchmark(lambda: None)
+    rows = [
+        f"Card(C)={scaled_card_c(card_c):>9,}  k={k:7.2f}  "
+        f"log10(k)={math.log10(k):5.2f}  time/doc={per_doc:8.1f} us"
+        for card_c, (k, per_doc) in sorted(_results.items())
+    ]
+    print_series(
+        "Figure 6: time per document vs log k",
+        f"Card(A)={CARD_A:,}, s={S}, c in [2,4]",
+        rows,
+    )
+    measured = [
+        _results[card_c] for card_c in CARD_C_VALUES if card_c in _results
+    ]
+    ks = [k for k, _ in measured]
+    times = [t for _, t in measured]
+    if len(set(ks)) < 4:
+        return  # quick mode collapsed the sweep; shape checks need range
+    # Growth far slower than linear in k: a k-multiplier of 100 must cost
+    # much less than 100x in time.
+    k_ratio = ks[-1] / ks[0]
+    time_ratio = times[-1] / times[0]
+    assert time_ratio < k_ratio / 2, (
+        f"time grew {time_ratio:.1f}x while k grew {k_ratio:.0f}x; the paper"
+        " reports O(s log k)"
+    )
+    # And it does grow with k (k has a real cost).
+    assert times[-1] > times[0]
+    # Log-like: time vs log(k) is closer to linear than time vs k.  Compare
+    # correlation-style residuals of a fit against log k vs against k.
+    log_fit_error = _linear_fit_error([math.log(k) for k in ks], times)
+    linear_fit_error = _linear_fit_error(ks, times)
+    assert log_fit_error <= linear_fit_error * 1.5
+
+
+def _linear_fit_error(xs, ys) -> float:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs) or 1e-12
+    slope = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    ) / denominator
+    intercept = mean_y - slope * mean_x
+    return sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))

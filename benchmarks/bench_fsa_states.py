@@ -1,0 +1,98 @@
+"""T-fsa — the automaton formulation's state explosion (Section 4.1).
+
+Paper: "In principle, we could detect this using a finite state automaton
+in linear time ... Unfortunately, because of the size of the problem, the
+number of states of the automaton would be prohibitive."
+
+Reproduction: materialize the full subset-construction DFA for growing
+numbers of complex events over a small shared alphabet and compare its
+state count against the AES structure's cell count for the *same* events.
+Expected shape: DFA states grow super-linearly (combinatorially) in
+Card(C) while AES cells grow linearly; the DFA blows past a state budget
+at a Card(C) where AES is still tiny.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import get_workload, print_series
+from repro.core import AESMatcher, SubsetAutomatonMatcher
+from repro.core.automaton import StateExplosionError
+
+CARD_A = 40
+CHAIN_COUNTS = (4, 8, 16, 32)
+STATE_LIMIT = 500_000
+
+_results: dict = {}
+
+
+def _events(count, seed=131):
+    workload = get_workload(
+        card_a=CARD_A, card_c=count, c_min=2, c_max=3, s=10, seed=seed
+    )
+    return workload.complex_events()
+
+
+@pytest.mark.parametrize("chains", CHAIN_COUNTS)
+def test_dfa_state_count(benchmark, chains):
+    events = _events(chains)
+    automaton = SubsetAutomatonMatcher(state_limit=STATE_LIMIT)
+    aes = AESMatcher()
+    for code, atomic in events:
+        automaton.add(code, atomic)
+        aes.add(code, atomic)
+
+    def build():
+        fresh = SubsetAutomatonMatcher(state_limit=STATE_LIMIT)
+        for code, atomic in events:
+            fresh.add(code, atomic)
+        try:
+            return fresh.materialize(alphabet=range(CARD_A))
+        except StateExplosionError:
+            return -1
+
+    states = benchmark.pedantic(build, rounds=1, iterations=1)
+    _results[chains] = {
+        "dfa_states": states,
+        "aes_cells": aes.structure_stats()["cells"],
+    }
+
+
+def test_fsa_report_and_shape(benchmark):
+    benchmark(lambda: None)
+    rows = []
+    for chains in CHAIN_COUNTS:
+        data = _results.get(chains)
+        if data is None:
+            continue
+        states = data["dfa_states"]
+        state_text = (
+            f"{states:>9,}" if states >= 0 else f"> {STATE_LIMIT:,} (blew up)"
+        )
+        rows.append(
+            f"Card(C)={chains:>3}  DFA states={state_text}"
+            f"  AES cells={data['aes_cells']:>5,}"
+        )
+    print_series(
+        "T-fsa: automaton state explosion vs AES structure size",
+        f"Card(A)={CARD_A}, c in [2,3]",
+        rows,
+    )
+    if len(_results) < len(CHAIN_COUNTS):
+        return
+    # AES grows linearly with the number of chains.
+    assert (
+        _results[CHAIN_COUNTS[-1]]["aes_cells"]
+        <= _results[CHAIN_COUNTS[0]]["aes_cells"] * (
+            CHAIN_COUNTS[-1] // CHAIN_COUNTS[0]
+        ) * 2
+    )
+    # The DFA grows super-linearly: doubling the chains much more than
+    # doubles the states (or overflows the budget outright).
+    first = _results[CHAIN_COUNTS[0]]["dfa_states"]
+    last = _results[CHAIN_COUNTS[-1]]["dfa_states"]
+    if last < 0:
+        return  # blew the budget: the paper's point, proven
+    chains_ratio = CHAIN_COUNTS[-1] / CHAIN_COUNTS[0]
+    assert last > first * chains_ratio * 2

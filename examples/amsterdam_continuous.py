@@ -1,0 +1,101 @@
+"""Continuous queries: the AmsterdamPaintings example (Section 5.2).
+
+A ``continuous delta`` query is evaluated biweekly (twice a week) over the
+``culture`` domain of the warehouse.  The first evaluation returns the full
+answer; later evaluations deliver only the *delta* of the result — the
+paper's ``<AmsterdamPaintings-delta>`` with ``<inserted ID=... parent=...
+position=...>`` entries built on XIDs.
+
+A second subscription shows a *notification-triggered* continuous query
+(the XylemeCompetitors pattern): the query re-runs whenever a monitored
+page changes.
+
+Run:  python examples/amsterdam_continuous.py
+"""
+
+from repro import SubscriptionSystem
+from repro.clock import SimulatedClock
+from repro.repository import SemanticClassifier
+
+RIJKS_URL = "http://rijksmuseum.example/collection.xml"
+
+MUSEUM_V1 = """\
+<museum>
+  <name>Rijksmuseum</name>
+  <address>Museumstraat 1, Amsterdam</address>
+  <painting><title>The Night Watch</title><year>1642</year></painting>
+  <painting><title>The Milkmaid</title><year>1658</year></painting>
+</museum>"""
+
+MUSEUM_V2 = MUSEUM_V1.replace(
+    "</museum>",
+    "  <painting><title>Self-portrait</title><year>1661</year></painting>\n"
+    "</museum>",
+)
+
+AMSTERDAM = """
+subscription AmsterdamWatch
+continuous delta AmsterdamPaintings
+select p/title
+from culture/museum m, m/painting p
+where m/address contains "Amsterdam"
+try biweekly
+report when immediate
+"""
+
+COMPETITORS = """
+subscription XylemeCompetitors
+monitoring ChangeInMyProducts
+select <ChangeInMyProducts url=URL/>
+where URL = "http://www.xyleme.example/products.xml"
+  and modified self
+continuous MyCompetitors
+select p/title
+from culture/museum m, m/painting p
+where m/address contains "Amsterdam"
+when XylemeCompetitors.ChangeInMyProducts
+report when immediate
+"""
+
+
+def main() -> None:
+    clock = SimulatedClock(start=990_000_000.0)
+    classifier = SemanticClassifier()
+    classifier.add_rule("culture", ["museum", "painting"])
+    system = SubscriptionSystem(clock=clock, classifier=classifier)
+
+    # Populate the warehouse before subscribing.
+    system.feed_xml(RIJKS_URL, MUSEUM_V1)
+    amsterdam_id = system.subscribe(AMSTERDAM, owner_email="curator@example.org")
+    competitors_id = system.subscribe(
+        COMPETITORS, owner_email="ceo@xyleme.example"
+    )
+
+    print("advancing 3.5 days (one biweekly period)...")
+    system.advance_days(3.5)
+    print("first evaluation -> full result:")
+    print(system.publisher.fetch(amsterdam_id))
+
+    print("\nthe museum hangs a new painting; advancing another period...")
+    system.feed_xml(RIJKS_URL, MUSEUM_V2)
+    system.advance_days(3.5)
+    print("second evaluation -> delta only:")
+    print(system.publisher.fetch(amsterdam_id))
+
+    print("\nunchanged warehouse; advancing another period...")
+    system.advance_days(3.5)
+    print(
+        "third evaluation -> no notification (delta empty); reports so far:"
+        f" {system.publisher.count(amsterdam_id)}"
+    )
+
+    print("\n-- notification-triggered query --")
+    system.feed_xml("http://www.xyleme.example/products.xml", "<p>v1</p>")
+    clock.advance(3600)
+    system.feed_xml("http://www.xyleme.example/products.xml", "<p>v2</p>")
+    print("products.xml changed -> MyCompetitors re-evaluated:")
+    print(system.publisher.fetch(competitors_id))
+
+
+if __name__ == "__main__":
+    main()

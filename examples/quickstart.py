@@ -1,0 +1,75 @@
+"""Quickstart: subscribe, feed two versions of a page, read the report.
+
+Reproduces the paper's first example (Section 2.2): monitor updated pages
+under a URL prefix and new ``<Member>`` elements of a team page, then get
+an XML report by (simulated) email.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SubscriptionSystem
+from repro.clock import SimulatedClock
+
+MEMBERS_V1 = """\
+<members>
+  <Member><name>jouglet</name><fn>jeremie</fn></Member>
+</members>"""
+
+MEMBERS_V2 = """\
+<members>
+  <Member><name>jouglet</name><fn>jeremie</fn></Member>
+  <Member><name>nguyen</name><fn>benjamin</fn></Member>
+  <Member><name>preda</name><fn>mihai</fn></Member>
+</members>"""
+
+SUBSCRIPTION = """
+subscription MyXyleme
+
+monitoring UpdatedPage
+select <UpdatedPage url=URL/>
+where URL extends "http://inria.fr/Xy/"
+  and modified self
+
+monitoring NewMember
+select X
+from self//Member X
+where URL = "http://inria.fr/Xy/members.xml"
+  and new X
+
+report when notifications.count >= 3
+"""
+
+
+def main() -> None:
+    clock = SimulatedClock(start=990_000_000.0)  # around May 2001
+    system = SubscriptionSystem(clock=clock)
+
+    subscription_id = system.subscribe(
+        SUBSCRIPTION, owner_email="benjamin.nguyen@inria.fr"
+    )
+    print(f"registered subscription #{subscription_id}")
+
+    # The crawler fetches the page for the first time.
+    first = system.feed_xml("http://inria.fr/Xy/members.xml", MEMBERS_V1)
+    print(
+        f"fetch 1: status={first.outcome.status}, "
+        f"notifications={len(first.notifications)}"
+    )
+
+    # A day later the page has changed: two new members joined.
+    clock.advance(86_400)
+    second = system.feed_xml("http://inria.fr/Xy/members.xml", MEMBERS_V2)
+    print(
+        f"fetch 2: status={second.outcome.status}, "
+        f"notifications={len(second.notifications)}"
+    )
+
+    print(f"\nreports generated: {system.reporter.stats.reports_generated}")
+    print(f"emails sent      : {system.email_sink.total_sent}")
+    for email in system.email_sink.sent:
+        print(f"\n--- email to {email.recipient} ---")
+        print(email.body)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Alerter protocol.
+
+"The role of the Alerters is to detect these events for each document
+entering the system" (Section 3).  The Subscription Manager "(dynamically)
+warns the Alerters of the creation of new events, their codes and semantic"
+— hence ``register``/``unregister``.  ``detect`` returns the codes raised
+for one document plus any per-event data requested by select clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Set, Tuple
+
+from ..core.events import AtomicEventKey
+from ..errors import MonitoringError
+from .context import FetchedDocument
+
+#: ``detect`` result: (codes raised, {code: data payload}).
+Detection = Tuple[Set[int], Dict[int, Any]]
+
+
+class Alerter:
+    """Base class: kind routing + registration bookkeeping."""
+
+    #: Event-key kinds this alerter handles; subclasses set this.
+    kinds: FrozenSet[str] = frozenset()
+
+    def handles(self, key: AtomicEventKey) -> bool:
+        return key.kind in self.kinds
+
+    def register(self, code: int, key: AtomicEventKey) -> None:
+        """Start detecting the event ``key`` under ``code``."""
+        raise NotImplementedError
+
+    def unregister(self, code: int, key: AtomicEventKey) -> None:
+        """Stop detecting ``key``."""
+        raise NotImplementedError
+
+    def detect(self, fetched: FetchedDocument) -> Detection:
+        raise NotImplementedError
+
+
+def reject_unknown(alerter: Alerter, key: AtomicEventKey) -> None:
+    raise MonitoringError(
+        f"{type(alerter).__name__} does not handle event kind {key.kind!r}"
+    )

@@ -1,0 +1,32 @@
+"""What an alerter sees for one fetched document.
+
+The loader/URL-manager side of the system (simulated by
+``repro.pipeline.stream``) packages each fetch into a
+:class:`FetchedDocument`: metadata, change status, the parsed document (for
+XML), the element-level change classification (when an old version existed)
+and the raw content (for HTML keyword scans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..diff.changes import DocumentChanges
+from ..repository.metadata import DocumentMeta
+from ..xmlstore.nodes import Document
+
+
+@dataclass
+class FetchedDocument:
+    url: str
+    meta: DocumentMeta
+    #: DOC_NEW / DOC_UPDATED / DOC_UNCHANGED (repro.diff.changes constants).
+    status: str
+    document: Optional[Document] = None
+    changes: Optional[DocumentChanges] = None
+    raw_content: Optional[str] = None
+
+    @property
+    def is_xml(self) -> bool:
+        return self.document is not None

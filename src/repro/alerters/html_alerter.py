@@ -1,0 +1,63 @@
+"""The HTML Alerter.
+
+The paper lists HTML alerters in the architecture but notes they were not
+implemented ("Only the first two have been implemented", Section 3); we
+build them as the extension the design calls for.  HTML pages are not
+warehoused, so the only content condition available is keyword containment
+on the raw page text (tags stripped); document-level statuses come from the
+page-signature comparison done by the repository.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, FrozenSet, Set
+
+from ..core.events import AtomicEventKey
+from ..xmlstore.words import iter_words
+from .base import Alerter, Detection, reject_unknown
+from .context import FetchedDocument
+
+_TAG_RE = re.compile(r"<[^>]*>")
+_SCRIPT_RE = re.compile(
+    r"<(script|style)\b[^>]*>.*?</\1>", re.IGNORECASE | re.DOTALL
+)
+
+
+def strip_markup(html: str) -> str:
+    """Visible text of an HTML page (crude but sufficient for keywords)."""
+    without_blocks = _SCRIPT_RE.sub(" ", html)
+    return _TAG_RE.sub(" ", without_blocks)
+
+
+class HTMLAlerter(Alerter):
+    kinds: FrozenSet[str] = frozenset({"self_contains"})
+
+    def __init__(self):
+        self._words: Dict[str, Set[int]] = {}
+
+    def register(self, code: int, key: AtomicEventKey) -> None:
+        if key.kind != "self_contains":
+            reject_unknown(self, key)
+        self._words.setdefault(str(key.argument), set()).add(code)
+
+    def unregister(self, code: int, key: AtomicEventKey) -> None:
+        if key.kind != "self_contains":
+            reject_unknown(self, key)
+        entries = self._words.get(str(key.argument))
+        if entries is not None:
+            entries.discard(code)
+            if not entries:
+                del self._words[str(key.argument)]
+
+    def detect(self, fetched: FetchedDocument) -> Detection:
+        codes: Set[int] = set()
+        data: Dict[int, Any] = {}
+        if fetched.raw_content is None or not self._words:
+            return codes, data
+        table = self._words
+        for word in iter_words(strip_markup(fetched.raw_content)):
+            entries = table.get(word)
+            if entries:
+                codes |= entries
+        return codes, data

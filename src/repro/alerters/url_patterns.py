@@ -1,0 +1,160 @@
+"""URL prefix-pattern detection structures (Section 6.2).
+
+``URL extends string`` is "by far the most critical in terms of
+performance".  The paper's production structure is a hash table of
+prefixes: "given the URL of the document that is being fetched, we look up
+each of its prefixes to see if it matches the 'URL*' pattern of some atomic
+event.  The dominating cost is the look-up in the million-records hash
+table."  They also tried "a dictionary structure" (a trie): ~30% faster
+lookups "but in terms of memory size, the overhead was too high".
+
+Both structures are implemented here so ``bench_url_alerter`` can reproduce
+that trade-off:
+
+* :class:`PrefixHashTable` — dict keyed by prefix string; lookup hashes
+  every prefix of the URL (O(len(url)) hashes, each O(len) to compute —
+  the cost the paper describes).
+* :class:`PrefixTrie` — character trie; one O(len(url)) walk collects all
+  matching prefixes, at a large per-node memory cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+
+class PrefixHashTable:
+    """Hash-table prefix matcher (the paper's production structure)."""
+
+    def __init__(self):
+        self._codes_by_prefix: Dict[str, Set[int]] = {}
+        #: Lengths at which at least one registered prefix exists; looking
+        #: up only these lengths preserves the hash-table design while
+        #: skipping lengths that cannot match.
+        self._lengths: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._codes_by_prefix)
+
+    def add(self, prefix: str, code: int) -> None:
+        entries = self._codes_by_prefix.setdefault(prefix, set())
+        if not entries:
+            self._lengths[len(prefix)] = self._lengths.get(len(prefix), 0) + 1
+        entries.add(code)
+
+    def remove(self, prefix: str, code: int) -> None:
+        entries = self._codes_by_prefix.get(prefix)
+        if entries is None:
+            return
+        entries.discard(code)
+        if not entries:
+            del self._codes_by_prefix[prefix]
+            remaining = self._lengths.get(len(prefix), 0) - 1
+            if remaining <= 0:
+                self._lengths.pop(len(prefix), None)
+            else:
+                self._lengths[len(prefix)] = remaining
+
+    def matches(self, url: str) -> Set[int]:
+        """Codes of all registered prefixes that ``url`` extends."""
+        out: Set[int] = set()
+        table = self._codes_by_prefix
+        for length in self._lengths:
+            if length <= len(url):
+                entries = table.get(url[:length])
+                if entries:
+                    out |= entries
+        return out
+
+    def matches_scanning_all_prefixes(self, url: str) -> Set[int]:
+        """The paper's literal strategy: hash every prefix of the URL.
+
+        Kept for the benchmark ablation; ``matches`` skips impossible
+        lengths but performs the same hash-table lookups otherwise.
+        """
+        out: Set[int] = set()
+        table = self._codes_by_prefix
+        for end in range(1, len(url) + 1):
+            entries = table.get(url[:end])
+            if entries:
+                out |= entries
+        return out
+
+
+class _TrieNode:
+    __slots__ = ("children", "codes")
+
+    def __init__(self):
+        self.children: Dict[str, "_TrieNode"] = {}
+        self.codes: Optional[Set[int]] = None
+
+
+class PrefixTrie:
+    """Character-trie prefix matcher (the paper's memory-hungry variant)."""
+
+    def __init__(self):
+        self._root = _TrieNode()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, prefix: str, code: int) -> None:
+        node = self._root
+        for ch in prefix:
+            child = node.children.get(ch)
+            if child is None:
+                child = _TrieNode()
+                node.children[ch] = child
+            node = child
+        if node.codes is None:
+            node.codes = set()
+            self._count += 1
+        node.codes.add(code)
+
+    def remove(self, prefix: str, code: int) -> None:
+        # Walk down remembering the path for pruning.
+        path: List[tuple] = []
+        node = self._root
+        for ch in prefix:
+            child = node.children.get(ch)
+            if child is None:
+                return
+            path.append((node, ch))
+            node = child
+        if node.codes is None:
+            return
+        node.codes.discard(code)
+        if node.codes:
+            return
+        node.codes = None
+        self._count -= 1
+        for parent, ch in reversed(path):
+            child = parent.children[ch]
+            if child.codes is None and not child.children:
+                del parent.children[ch]
+            else:
+                break
+
+    def matches(self, url: str) -> Set[int]:
+        out: Set[int] = set()
+        node = self._root
+        if node.codes:
+            out |= node.codes
+        for ch in url:
+            node = node.children.get(ch)
+            if node is None:
+                break
+            if node.codes:
+                out |= node.codes
+        return out
+
+    def node_count(self) -> int:
+        """Trie size — the memory overhead the paper rejected."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count

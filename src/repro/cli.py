@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-monitor check FILE       parse + validate a subscription file
+    repro-monitor fmt FILE         print the canonical form of a subscription
+    repro-monitor demo             run a small end-to-end simulation
+    repro-monitor match            micro-benchmark the matching engines
+
+Also runnable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .clock import SimulatedClock
+from .errors import ReproError
+from .language import parse_subscription, unparse, validate_subscription
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-monitor",
+        description="Monitoring XML Data on the Web (SIGMOD 2001) tooling",
+    )
+    commands = parser.add_subparsers(dest="command")
+    parser.set_defaults(command=None)
+
+    check = commands.add_parser(
+        "check", help="parse and validate a subscription file"
+    )
+    check.add_argument("file", help="path to a subscription source file")
+    check.set_defaults(handler=_cmd_check)
+
+    fmt = commands.add_parser(
+        "fmt", help="print the canonical form of a subscription file"
+    )
+    fmt.add_argument("file")
+    fmt.set_defaults(handler=_cmd_fmt)
+
+    demo = commands.add_parser(
+        "demo", help="run a small end-to-end monitoring simulation"
+    )
+    demo.add_argument("--sites", type=int, default=10)
+    demo.add_argument("--days", type=int, default=7)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(handler=_cmd_demo)
+
+    match = commands.add_parser(
+        "match", help="micro-benchmark a matching engine"
+    )
+    match.add_argument(
+        "--engine",
+        choices=["aes", "counting", "naive"],
+        default="aes",
+    )
+    match.add_argument("--card-a", type=int, default=100_000)
+    match.add_argument("--card-c", type=int, default=100_000)
+    match.add_argument("--s", type=int, default=20)
+    match.add_argument("--c-min", type=int, default=2)
+    match.add_argument("--c-max", type=int, default=4)
+    match.add_argument("--docs", type=int, default=500)
+    match.add_argument("--seed", type=int, default=0)
+    match.set_defaults(handler=_cmd_match)
+
+    return parser
+
+
+# -- commands -------------------------------------------------------------------
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    subscription = parse_subscription(_read(args.file))
+    validate_subscription(subscription)
+    complex_events = sum(
+        len(query.all_disjuncts()) for query in subscription.monitoring
+    )
+    print(f"subscription {subscription.name}: OK")
+    print(f"  monitoring queries : {len(subscription.monitoring)}")
+    print(f"  complex events     : {complex_events}")
+    print(f"  continuous queries : {len(subscription.continuous)}")
+    print(f"  refresh statements : {len(subscription.refreshes)}")
+    print(f"  virtual references : {len(subscription.virtuals)}")
+    print(f"  report section     : {'yes' if subscription.report else 'no'}")
+    return 0
+
+
+def _cmd_fmt(args: argparse.Namespace) -> int:
+    subscription = parse_subscription(_read(args.file))
+    sys.stdout.write(unparse(subscription))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .pipeline import SubscriptionSystem
+    from .webworld import ChangeModel, SimulatedCrawler, SiteGenerator
+
+    clock = SimulatedClock(990_000_000.0)
+    system = SubscriptionSystem(clock=clock)
+    generator = SiteGenerator(seed=args.seed)
+    crawler = SimulatedCrawler(
+        clock=clock, change_model=ChangeModel(seed=args.seed + 1),
+        seed=args.seed + 2,
+    )
+    for i in range(args.sites):
+        crawler.add_xml_page(
+            f"http://www.shop{i}.example/catalog/products.xml",
+            generator.catalog(products=8),
+            change_probability=0.7,
+        )
+    system.subscribe(
+        """
+        subscription Demo
+        monitoring NewCam
+        select X
+        from self//Product X
+        where URL extends "http://www.shop"
+          and new Product contains "camera"
+        report when count >= 3
+        """,
+        owner_email="demo@example.org",
+    )
+    for _ in range(args.days):
+        for fetch in crawler.due_fetches():
+            system.feed(fetch)
+        system.advance_days(1)
+    stats = system.processor.stats
+    print(f"{args.sites} sites crawled over {args.days} simulated days")
+    print(f"  documents fed  : {system.documents_fed}")
+    print(f"  alerts         : {stats.alerts_processed}")
+    print(f"  notifications  : {stats.notifications_sent}")
+    print(f"  reports        : {system.reporter.stats.reports_generated}")
+    print(f"  emails         : {system.email_sink.total_sent}")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    from .core import AESMatcher, CountingMatcher, NaiveMatcher
+    from .webworld import SyntheticWorkload, WorkloadParams
+
+    factory = {
+        "aes": AESMatcher,
+        "counting": CountingMatcher,
+        "naive": NaiveMatcher,
+    }[args.engine]
+    workload = SyntheticWorkload(
+        WorkloadParams(
+            card_a=args.card_a,
+            card_c=args.card_c,
+            c_min=args.c_min,
+            c_max=args.c_max,
+            s=args.s,
+            seed=args.seed,
+        )
+    )
+    print(
+        f"building {args.engine} matcher: Card(A)={args.card_a:,},"
+        f" Card(C)={args.card_c:,}, c in [{args.c_min},{args.c_max}],"
+        f" s={args.s}"
+    )
+    build_start = time.perf_counter()
+    matcher = workload.build(factory)
+    build_elapsed = time.perf_counter() - build_start
+    documents = workload.document_event_sets(args.docs)
+    match_start = time.perf_counter()
+    matches = sum(len(matcher.match(d)) for d in documents)
+    match_elapsed = time.perf_counter() - match_start
+    per_doc = match_elapsed / args.docs * 1e6
+    print(f"  build     : {build_elapsed:8.2f} s")
+    print(f"  match     : {per_doc:8.1f} us/doc"
+          f" ({args.docs / match_elapsed:,.0f} docs/s)")
+    print(f"  matches   : {matches}")
+    print(f"  structure : {matcher.structure_stats()}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

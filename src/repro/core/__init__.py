@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the Monitoring Query Processor.
+
+* :class:`AESMatcher` — the "Atomic Event Sets" hash-tree algorithm
+  (Section 4.2, Figure 4).
+* :class:`NaiveMatcher`, :class:`CountingMatcher` — the baselines the
+  evaluation compares against.
+* :class:`MonitoringQueryProcessor` — alerts in, notification batches out,
+  with live registration/removal of complex events.
+* :class:`FlowPartitionedProcessor`, :class:`SubscriptionPartitionedProcessor`
+  — the two distribution axes of Section 4.2.
+"""
+
+from .aes import AESMatcher, sort_event_set
+from .automaton import StateExplosionError, SubsetAutomatonMatcher
+from .counting import CountingMatcher
+from .events import (
+    WEAK_KINDS,
+    AtomicEventKey,
+    ComplexEvent,
+    EventRegistry,
+)
+from .naive import NaiveMatcher
+from .processor import Alert, MonitoringQueryProcessor, Notification
+from .sharding import FlowPartitionedProcessor, SubscriptionPartitionedProcessor
+from .stats import ProcessorStats
+
+__all__ = [
+    "AESMatcher",
+    "sort_event_set",
+    "StateExplosionError",
+    "SubsetAutomatonMatcher",
+    "CountingMatcher",
+    "WEAK_KINDS",
+    "AtomicEventKey",
+    "ComplexEvent",
+    "EventRegistry",
+    "NaiveMatcher",
+    "Alert",
+    "MonitoringQueryProcessor",
+    "Notification",
+    "FlowPartitionedProcessor",
+    "SubscriptionPartitionedProcessor",
+    "ProcessorStats",
+]

@@ -1,0 +1,197 @@
+"""The "Atomic Event Sets" algorithm (Section 4.2) — the paper's core.
+
+Data structure (Figure 4): a chain of hash tables.  The entry table ``H``
+has one cell per atomic event appearing first in some complex event; the
+cell for event ``a_i`` may carry *marks* (codes of complex events equal to
+the prefix ``{a_i}``) and may point to a subtable ``H_i`` indexing the next
+event of longer complex events, and so on — ``H_{1,5}`` holds the complex
+events starting with ``a_1, a_5``.  Complex events are stored as *sorted*
+tuples of atomic codes, so the structure is exactly the data-mining
+hash-tree: "we want to find all itemsets (complex events) that are
+supported by a given transaction (incoming events)".
+
+Matching a sorted event set ``S = [e_1 .. e_s]`` (the paper's ``Notif``):
+walk the entry table for every ``e_i``; whenever a cell is marked, report
+its marks; whenever it has a subtable, continue inside it with the *suffix*
+``e_{i+1} ..``.  Naively O(2^s), but a cell for event ``a`` exists only
+where some complex event contains ``a`` in that prefix context, so the
+explored cells are bounded by the structure — experimentally O(s·log k)
+(Figures 5 and 6).
+
+Implementation notes: a cell is a two-slot list ``[marks, subtable]`` where
+``marks`` is ``None``, a single int, or a list of ints (most cells carry at
+most one mark, so the common case avoids a list allocation), and
+``subtable`` is ``None`` or a dict.  Matching is iterative (explicit stack)
+to keep per-visit overhead minimal in CPython.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import MonitoringError
+
+#: Cell layout indexes.
+_MARKS = 0
+_SUB = 1
+
+Cell = list  # [marks: None|int|List[int], subtable: None|Dict[int, Cell]]
+
+
+class AESMatcher:
+    """Hash-tree matcher over sorted atomic-event codes.
+
+    The matcher is one of the interchangeable engines behind the Monitoring
+    Query Processor; see :mod:`repro.core.naive` and
+    :mod:`repro.core.counting` for the baselines it is evaluated against.
+    """
+
+    name = "aes"
+
+    def __init__(self):
+        self._root: Dict[int, Cell] = {}
+        self._size = 0  # number of registered complex events
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- registration ---------------------------------------------------------
+
+    def add(self, complex_code: int, atomic_codes: Sequence[int]) -> None:
+        """Insert a complex event given its sorted atomic codes."""
+        if not atomic_codes:
+            raise MonitoringError("cannot register an empty complex event")
+        codes = _ensure_sorted(atomic_codes)
+        table = self._root
+        last = len(codes) - 1
+        for position, code in enumerate(codes):
+            cell = table.get(code)
+            if cell is None:
+                cell = [None, None]
+                table[code] = cell
+            if position == last:
+                marks = cell[_MARKS]
+                if marks is None:
+                    cell[_MARKS] = complex_code
+                elif isinstance(marks, int):
+                    cell[_MARKS] = [marks, complex_code]
+                else:
+                    marks.append(complex_code)
+                break
+            subtable = cell[_SUB]
+            if subtable is None:
+                subtable = {}
+                cell[_SUB] = subtable
+            table = subtable
+        self._size += 1
+
+    def remove(self, complex_code: int, atomic_codes: Sequence[int]) -> None:
+        """Remove a previously added complex event, pruning empty tables."""
+        codes = _ensure_sorted(atomic_codes)
+        path: List[Tuple[Dict[int, Cell], int, Cell]] = []
+        table: Optional[Dict[int, Cell]] = self._root
+        cell: Optional[Cell] = None
+        for code in codes:
+            if table is None:
+                cell = None
+                break
+            cell = table.get(code)
+            if cell is None:
+                break
+            path.append((table, code, cell))
+            table = cell[_SUB]
+        if cell is None or not path:
+            raise MonitoringError(
+                f"complex event {complex_code} with codes {list(codes)}"
+                " is not registered"
+            )
+        marks = cell[_MARKS]
+        if marks == complex_code:
+            cell[_MARKS] = None
+        elif isinstance(marks, list) and complex_code in marks:
+            marks.remove(complex_code)
+            if len(marks) == 1:
+                cell[_MARKS] = marks[0]
+        else:
+            raise MonitoringError(
+                f"complex event {complex_code} is not marked at its cell"
+            )
+        # Prune now-empty cells bottom-up.
+        for parent_table, code, parent_cell in reversed(path):
+            sub = parent_cell[_SUB]
+            if sub is not None and not sub:
+                parent_cell[_SUB] = None
+            if parent_cell[_MARKS] is None and parent_cell[_SUB] is None:
+                del parent_table[code]
+            else:
+                break
+        self._size -= 1
+
+    # -- matching ---------------------------------------------------------------
+
+    def match(self, event_codes: Sequence[int]) -> List[int]:
+        """Codes of all complex events contained in the sorted set ``event_codes``.
+
+        This is the paper's ``Notif(H, S)``.  ``event_codes`` must be sorted
+        ascending and duplicate-free (alerters guarantee this; see
+        Section 6.2 "it must produce a sorted sequence").
+        """
+        out: List[int] = []
+        events = event_codes
+        count = len(events)
+        # Each stack entry is (table, start index into events).
+        stack: List[Tuple[Dict[int, Cell], int]] = [(self._root, 0)]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            table, start = pop()
+            get = table.get
+            for index in range(start, count):
+                cell = get(events[index])
+                if cell is None:
+                    continue
+                marks = cell[_MARKS]
+                if marks is not None:
+                    if type(marks) is int:
+                        out.append(marks)
+                    else:
+                        out.extend(marks)
+                subtable = cell[_SUB]
+                if subtable is not None and index + 1 < count:
+                    push((subtable, index + 1))
+        return out
+
+    # -- introspection ------------------------------------------------------------
+
+    def structure_stats(self) -> Dict[str, int]:
+        """Table/cell/mark counts — the memory figures of Section 4.2."""
+        tables = 0
+        cells = 0
+        marks = 0
+        stack = [self._root]
+        while stack:
+            table = stack.pop()
+            tables += 1
+            for cell in table.values():
+                cells += 1
+                cell_marks = cell[_MARKS]
+                if cell_marks is not None:
+                    marks += 1 if type(cell_marks) is int else len(cell_marks)
+                if cell[_SUB] is not None:
+                    stack.append(cell[_SUB])
+        return {"tables": tables, "cells": cells, "marks": marks}
+
+
+def _ensure_sorted(atomic_codes: Sequence[int]) -> Sequence[int]:
+    """Validate (cheaply) that codes are sorted unique; sort when not."""
+    previous = None
+    for code in atomic_codes:
+        if previous is not None and code <= previous:
+            return sorted(set(atomic_codes))
+        previous = code
+    return atomic_codes
+
+
+def sort_event_set(event_codes: Iterable[int]) -> List[int]:
+    """Canonical form of a detected event set: sorted, duplicate-free."""
+    return sorted(set(event_codes))

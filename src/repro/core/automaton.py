@@ -1,0 +1,187 @@
+"""The finite-state-automaton formulation of the matching problem.
+
+Section 4.1: "Note that the problem can be stated as a finite state
+automata problem.  For each document we need to find the words in
+{C_1 ... C_n} 'contained' in the word S.  In principle, we could detect
+this using a finite state automaton in linear time in the cardinality of S
+and in constant time in the other inputs to the problem.  Unfortunately,
+because of the size of the problem, the number of states of the automaton
+would be prohibitive."
+
+This module builds that automaton so the claim can be *measured*
+(``benchmarks/bench_fsa_states.py``):
+
+* each complex event is an NFA chain over its sorted codes (with implicit
+  self-loops — symbols not on the chain are skipped);
+* the DFA state is the subset of live chain positions **plus the set of
+  complex events already detected** (detection must be part of the output
+  of a state for matching to be a pure automaton run);
+* subset construction is performed lazily (transitions are memoized as
+  words are read) or eagerly (:meth:`materialize`, which explores the full
+  reachable state space and is where the explosion shows).
+
+Matching through the lazy DFA gives exactly the same results as
+:class:`~repro.core.aes.AESMatcher` — property-tested — while the state
+count grows out of control with Card(C), which is the paper's argument for
+the AES structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..errors import MonitoringError
+
+
+class StateExplosionError(MonitoringError):
+    """Raised when the automaton exceeds its state budget."""
+
+
+#: A DFA state: (frozenset of live (chain id, position) pairs,
+#:              frozenset of complex codes already matched).
+State = Tuple[FrozenSet[Tuple[int, int]], FrozenSet[int]]
+
+
+class SubsetAutomatonMatcher:
+    """Subset-construction automaton for the containment problem.
+
+    Implements the same protocol as the other matchers (add / remove /
+    match / structure_stats) so it can sit behind the MQP facade; intended
+    for analysis at small scale, not production — which is the point.
+    """
+
+    name = "automaton"
+
+    def __init__(self, state_limit: int = 100_000):
+        self.state_limit = state_limit
+        self._chains: Dict[int, Tuple[int, ...]] = {}
+        #: symbol -> [(chain id, position at which the chain wants it)]
+        self._wanting: Dict[int, List[Tuple[int, int]]] = {}
+        self._transitions: Dict[State, Dict[int, State]] = {}
+        self._start: State = (frozenset(), frozenset())
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    # -- registration ---------------------------------------------------------
+
+    def add(self, complex_code: int, atomic_codes: Sequence[int]) -> None:
+        if not atomic_codes:
+            raise MonitoringError("cannot register an empty complex event")
+        chain = tuple(sorted(set(atomic_codes)))
+        self._chains[complex_code] = chain
+        self._rebuild_index()
+        self._transitions.clear()
+
+    def remove(self, complex_code: int, atomic_codes: Sequence[int]) -> None:
+        if complex_code not in self._chains:
+            raise MonitoringError(
+                f"complex event {complex_code} is not registered"
+            )
+        del self._chains[complex_code]
+        self._rebuild_index()
+        self._transitions.clear()
+
+    def _rebuild_index(self) -> None:
+        self._wanting = {}
+        for chain_id, chain in self._chains.items():
+            for position, symbol in enumerate(chain):
+                self._wanting.setdefault(symbol, []).append(
+                    (chain_id, position)
+                )
+
+    # -- matching ---------------------------------------------------------------
+
+    def match(self, event_codes: Sequence[int]) -> List[int]:
+        """Run the sorted event word through the (lazily built) DFA."""
+        state = self._start
+        for symbol in event_codes:
+            state = self._step(state, symbol)
+        return sorted(state[1])
+
+    def _step(self, state: State, symbol: int) -> State:
+        cached = self._transitions.get(state)
+        if cached is not None:
+            target = cached.get(symbol)
+            if target is not None:
+                return target
+        else:
+            cached = {}
+            self._transitions[state] = cached
+            if len(self._transitions) > self.state_limit:
+                raise StateExplosionError(
+                    f"automaton exceeded {self.state_limit} states"
+                )
+        live, matched = state
+        wanting = self._wanting.get(symbol)
+        if wanting is None:
+            # Symbol no chain cares about: self-loop.
+            cached[symbol] = state
+            return state
+        live_set = set(live)
+        matched_set = set(matched)
+        live_positions = {pair: True for pair in live}
+        for chain_id, position in wanting:
+            chain = self._chains.get(chain_id)
+            if chain is None:
+                continue
+            # Chains implicitly sit at position 0; deeper positions must be
+            # live in the current state for the chain to advance.
+            if position > 0 and (chain_id, position) not in live_positions:
+                continue
+            if position > 0:
+                live_set.discard((chain_id, position))
+            if position + 1 == len(chain):
+                matched_set.add(chain_id)
+            else:
+                live_set.add((chain_id, position + 1))
+        target: State = (frozenset(live_set), frozenset(matched_set))
+        cached[symbol] = target
+        return target
+
+    # -- analysis -----------------------------------------------------------------
+
+    def materialize(self, alphabet: Sequence[int]) -> int:
+        """Eagerly explore every reachable state over ``alphabet``.
+
+        Returns the state count; raises :class:`StateExplosionError` when
+        the budget is exceeded — reproducing "the number of states of the
+        automaton would be prohibitive".
+
+        Exploration respects sortedness: from a state reached by reading
+        symbol ``a``, only symbols greater than ``a`` can follow (event
+        sets are sorted words), which *under*-counts the unrestricted
+        automaton — the explosion happens anyway.
+        """
+        self._transitions.clear()
+        alphabet = sorted(set(alphabet))
+        seen: Set[Tuple[State, int]] = set()
+        stack: List[Tuple[State, int]] = [(self._start, -1)]
+        states: Set[State] = {self._start}
+        while stack:
+            state, floor = stack.pop()
+            for index, symbol in enumerate(alphabet):
+                if symbol <= floor:
+                    continue
+                target = self._step(state, symbol)
+                if len(states) > self.state_limit:
+                    raise StateExplosionError(
+                        f"automaton exceeded {self.state_limit} states"
+                    )
+                marker = (target, symbol)
+                if marker not in seen:
+                    seen.add(marker)
+                    states.add(target)
+                    stack.append((target, symbol))
+        return len(states)
+
+    def discovered_states(self) -> int:
+        """States materialized so far (lazy matching or materialize())."""
+        return len(self._transitions)
+
+    def structure_stats(self) -> Dict[str, int]:
+        return {
+            "tables": len(self._transitions),
+            "cells": sum(len(t) for t in self._transitions.values()),
+            "marks": len(self._chains),
+        }

@@ -1,0 +1,55 @@
+"""Naive baseline matcher: test every complex event against every document.
+
+Section 4.1 notes the problem "can be stated as a finite state automata
+problem" but the automaton would be prohibitive, and that the authors
+"considered alternatives" before choosing AES.  This module is the simplest
+correct alternative: keep every complex event as a sorted tuple and check
+containment per document.  Cost is O(Card(C) · c̄) per document — unusable
+at the paper's scale, which is precisely what ``bench_baselines`` shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import MonitoringError
+
+
+class NaiveMatcher:
+    """Per-subscription scan baseline: O(Card(C)·c̄) per document."""
+
+    name = "naive"
+
+    def __init__(self):
+        self._events: Dict[int, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def add(self, complex_code: int, atomic_codes: Sequence[int]) -> None:
+        if not atomic_codes:
+            raise MonitoringError("cannot register an empty complex event")
+        self._events[complex_code] = tuple(sorted(set(atomic_codes)))
+
+    def remove(self, complex_code: int, atomic_codes: Sequence[int]) -> None:
+        if complex_code not in self._events:
+            raise MonitoringError(
+                f"complex event {complex_code} is not registered"
+            )
+        del self._events[complex_code]
+
+    def match(self, event_codes: Sequence[int]) -> List[int]:
+        detected = set(event_codes)
+        contains = detected.issuperset
+        return [
+            code
+            for code, atomic in self._events.items()
+            if contains(atomic)
+        ]
+
+    def structure_stats(self) -> Dict[str, int]:
+        return {
+            "tables": 1,
+            "cells": sum(len(a) for a in self._events.values()),
+            "marks": len(self._events),
+        }

@@ -1,0 +1,57 @@
+"""Counters the MQP and the sharded processors expose.
+
+The paper quantifies the system by documents/day, notifications/day and the
+parameters s, c̄, k; these counters are the raw material for those numbers
+in benchmarks and in the pipeline's end-of-run summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class ProcessorStats:
+    alerts_processed: int = 0
+    events_seen: int = 0
+    notifications_sent: int = 0
+    complex_registered: int = 0
+    complex_removed: int = 0
+
+    @property
+    def average_event_set_size(self) -> float:
+        """Observed s̄ — average atomic events per processed document."""
+        if self.alerts_processed == 0:
+            return 0.0
+        return self.events_seen / self.alerts_processed
+
+    @property
+    def average_notifications_per_alert(self) -> float:
+        if self.alerts_processed == 0:
+            return 0.0
+        return self.notifications_sent / self.alerts_processed
+
+    def merged_with(self, other: "ProcessorStats") -> "ProcessorStats":
+        return ProcessorStats(
+            alerts_processed=self.alerts_processed + other.alerts_processed,
+            events_seen=self.events_seen + other.events_seen,
+            notifications_sent=self.notifications_sent
+            + other.notifications_sent,
+            complex_registered=self.complex_registered
+            + other.complex_registered,
+            complex_removed=self.complex_removed + other.complex_removed,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "alerts_processed": self.alerts_processed,
+            "events_seen": self.events_seen,
+            "notifications_sent": self.notifications_sent,
+            "complex_registered": self.complex_registered,
+            "complex_removed": self.complex_removed,
+            "average_event_set_size": self.average_event_set_size,
+            "average_notifications_per_alert": (
+                self.average_notifications_per_alert
+            ),
+        }

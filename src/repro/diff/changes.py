@@ -1,0 +1,132 @@
+"""Element-level change classification on top of a delta.
+
+The XML Alerter's atomic conditions are of the form ``new tag``,
+``updated tag``, ``deleted tag`` (optionally with ``contains word``), see
+Sections 5.1 and 6.3.  Given a delta this module classifies the elements of
+the two versions:
+
+* **new** — every element inside an inserted subtree;
+* **deleted** — every element inside a deleted subtree;
+* **updated** — every *matched* element whose subtree was touched (a text or
+  attribute change, an insertion or a deletion strictly below it); the
+  classification propagates to ancestors so that ``updated Product`` fires
+  when a ``<price>`` nested in a product changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from ..errors import DiffError
+from ..xmlstore.nodes import Document, ElementNode, Node
+from .delta import Delta
+from .xids import index_by_xid
+
+#: Document-level statuses used by the subscription language (Section 5.1):
+#: ``change-kind self`` with kind in new / updated / unchanged / deleted.
+DOC_NEW = "new"
+DOC_UPDATED = "updated"
+DOC_UNCHANGED = "unchanged"
+DOC_DELETED = "deleted"
+
+
+@dataclass
+class DocumentChanges:
+    """Per-tag element change sets between two versions of one document."""
+
+    new_elements: List[ElementNode] = field(default_factory=list)
+    updated_elements: List[ElementNode] = field(default_factory=list)
+    deleted_elements: List[ElementNode] = field(default_factory=list)
+
+    def by_kind(self, kind: str) -> List[ElementNode]:
+        if kind == DOC_NEW:
+            return self.new_elements
+        if kind == DOC_UPDATED:
+            return self.updated_elements
+        if kind == DOC_DELETED:
+            return self.deleted_elements
+        raise DiffError(f"unknown change kind {kind!r}")
+
+    def tags(self, kind: str) -> Set[str]:
+        return {element.tag for element in self.by_kind(kind)}
+
+    def is_empty(self) -> bool:
+        return not (
+            self.new_elements or self.updated_elements or self.deleted_elements
+        )
+
+
+def classify_changes(
+    old_document: Document, new_document: Document, delta: Delta
+) -> DocumentChanges:
+    """Classify elements as new / updated / deleted given a computed delta.
+
+    ``new_document`` must be the version produced by the diff (its nodes
+    carry XIDs); ``old_document`` is the diff's base.
+    """
+    changes = DocumentChanges()
+    if not delta:
+        return changes
+
+    new_index = index_by_xid(new_document)
+    old_index = index_by_xid(old_document)
+
+    for insert in delta.inserts:
+        root = new_index.get(insert.subtree.xid or -1)
+        # The inserted subtree lives both in the delta and (with the same
+        # XIDs) in the new document; prefer the in-document nodes so callers
+        # can navigate from them.
+        source: Node = root if root is not None else insert.subtree
+        for node in source.preorder():
+            if isinstance(node, ElementNode):
+                changes.new_elements.append(node)
+
+    for delete in delta.deletes:
+        root_old = old_index.get(delete.xid)
+        source = root_old if root_old is not None else delete.subtree
+        for node in source.preorder():
+            if isinstance(node, ElementNode):
+                changes.deleted_elements.append(node)
+
+    # Updated: matched elements touched directly or via a descendant edit.
+    touched: List[Node] = []
+    for update in delta.text_updates:
+        node = new_index.get(update.xid)
+        if node is not None:
+            touched.append(node)
+    for attr_update in delta.attribute_updates:
+        node = new_index.get(attr_update.xid)
+        if node is not None:
+            touched.append(node)
+    for insert in delta.inserts:
+        parent = new_index.get(insert.parent_xid)
+        if parent is not None:
+            touched.append(parent)
+    for delete in delta.deletes:
+        parent = new_index.get(delete.parent_xid)
+        if parent is not None:
+            touched.append(parent)
+
+    new_xids = {
+        node.xid
+        for insert in delta.inserts
+        for node in insert.subtree.preorder()
+    }
+    seen: Set[int] = set()
+    for node in touched:
+        element = node if isinstance(node, ElementNode) else node.parent
+        while element is not None:
+            marker = id(element)
+            if marker in seen:
+                break
+            seen.add(marker)
+            if element.xid not in new_xids:
+                changes.updated_elements.append(element)
+            element = element.parent
+    return changes
+
+
+def document_status(delta: Delta) -> str:
+    """Doc-level status for a refetched, previously warehoused document."""
+    return DOC_UPDATED if delta else DOC_UNCHANGED

@@ -1,0 +1,92 @@
+"""Small identifier allocators shared across subsystems.
+
+The Subscription Manager "chooses the internal codes of atomic events"
+(Section 3 of the paper); atomic-event codes must form a totally ordered
+domain because the Monitoring Query Processor relies on processing events
+"as ordered subsets of A" (Section 4.1).  Dense integer codes give that
+ordering for free and make the hash-tree tables compact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional
+
+
+class SequentialIdAllocator:
+    """Allocates dense increasing integer ids, with optional free-list reuse.
+
+    Reuse matters for long-running systems where subscriptions (and therefore
+    events) keep being added and removed (Section 4.1, dynamic updates).
+    """
+
+    def __init__(self, start: int = 0, reuse_freed: bool = True):
+        self._next = start
+        self._reuse_freed = reuse_freed
+        self._free: list[int] = []
+
+    def allocate(self) -> int:
+        if self._reuse_freed and self._free:
+            return self._free.pop()
+        value = self._next
+        self._next += 1
+        return value
+
+    def release(self, value: int) -> None:
+        """Return an id to the pool (only meaningful with ``reuse_freed``)."""
+        if self._reuse_freed:
+            self._free.append(value)
+
+    @property
+    def high_water_mark(self) -> int:
+        """One past the largest id ever allocated."""
+        return self._next
+
+
+class InternedCodes:
+    """Bidirectional mapping between hashable keys and dense integer codes.
+
+    Used for atomic-event codes: the key is the canonical description of the
+    condition (for example ``("url_extends", "http://inria.fr/Xy/")``), the
+    code is the small integer the Monitoring Query Processor works with.
+    Interning guarantees that two subscriptions with the same atomic
+    condition share one atomic event, which is what makes the parameter *k*
+    (complex events per atomic event) of the paper meaningful.
+    """
+
+    def __init__(self):
+        self._code_of: Dict[Hashable, int] = {}
+        self._key_of: Dict[int, Hashable] = {}
+        self._allocator = SequentialIdAllocator()
+
+    def __len__(self) -> int:
+        return len(self._code_of)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._code_of
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._code_of)
+
+    def intern(self, key: Hashable) -> int:
+        """Return the code for ``key``, allocating one on first sight."""
+        code = self._code_of.get(key)
+        if code is None:
+            code = self._allocator.allocate()
+            self._code_of[key] = code
+            self._key_of[code] = key
+        return code
+
+    def code_for(self, key: Hashable) -> Optional[int]:
+        """Return the code for ``key`` or ``None`` if never interned."""
+        return self._code_of.get(key)
+
+    def key_for(self, code: int) -> Hashable:
+        """Return the key interned under ``code`` (KeyError if unknown)."""
+        return self._key_of[code]
+
+    def release(self, key: Hashable) -> None:
+        """Forget a key, returning its code to the free pool."""
+        code = self._code_of.pop(key, None)
+        if code is not None:
+            del self._key_of[code]
+            self._allocator.release(code)

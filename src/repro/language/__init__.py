@@ -1,0 +1,63 @@
+"""The subscription language (Section 5 of the paper).
+
+:func:`parse_subscription` turns subscription text into a
+:class:`Subscription` AST; :func:`validate_subscription` applies the static
+checks (weak/strong rule, variable hygiene); ``conditions`` maps atomic
+conditions to the atomic-event keys the alerters and MQP work with.
+"""
+
+from .ast import (
+    AtomicCondition,
+    ContinuousQuery,
+    CountCondition,
+    FromBinding,
+    ImmediateCondition,
+    MonitoringQuery,
+    NotificationTrigger,
+    PeriodicCondition,
+    RefreshStatement,
+    ReportCondition,
+    ReportSpec,
+    SelectSpec,
+    Subscription,
+    VirtualReference,
+)
+from .conditions import (
+    URL_ALERTER_KINDS,
+    XML_ALERTER_KINDS,
+    condition_event_key,
+    last_tag_of_path,
+    resolve_target_tag,
+)
+from .frequencies import FREQUENCY_WORDS, period_seconds
+from .parser import parse_subscription
+from .unparse import unparse, unparse_condition
+from .validate import validate_subscription
+
+__all__ = [
+    "AtomicCondition",
+    "ContinuousQuery",
+    "CountCondition",
+    "FromBinding",
+    "ImmediateCondition",
+    "MonitoringQuery",
+    "NotificationTrigger",
+    "PeriodicCondition",
+    "RefreshStatement",
+    "ReportCondition",
+    "ReportSpec",
+    "SelectSpec",
+    "Subscription",
+    "VirtualReference",
+    "URL_ALERTER_KINDS",
+    "XML_ALERTER_KINDS",
+    "condition_event_key",
+    "last_tag_of_path",
+    "resolve_target_tag",
+    "FREQUENCY_WORDS",
+    "period_seconds",
+    "parse_subscription",
+    "unparse",
+    "unparse_condition",
+    "validate_subscription",
+]

@@ -1,0 +1,148 @@
+"""Mapping parsed atomic conditions onto atomic-event keys.
+
+"Each atomic condition is mapped to an atomic event" (Section 5.1).  The
+key's ``kind`` selects which alerter detects it; the ``argument`` carries
+the condition's parameters in canonical (interned-comparable) form, so two
+users monitoring the same thing share one atomic event.
+
+Element conditions may target a *variable* bound in the ``from`` clause
+(``where ... and new X`` with ``from self//Member X``): the variable
+resolves to the last tag of its binding path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.events import AtomicEventKey
+from ..errors import SubscriptionError
+from ..xmlstore.words import normalize_word
+from .ast import (
+    AtomicCondition,
+    DOC_STATUS,
+    DOCID_EQ,
+    DOMAIN_EQ,
+    DTD_EQ,
+    DTDID_EQ,
+    ELEMENT,
+    FILENAME_EQ,
+    FromBinding,
+    KIND_DELETED,
+    KIND_NEW,
+    KIND_UNCHANGED,
+    KIND_UPDATED,
+    LAST_ACCESSED,
+    LAST_UPDATE,
+    SELF_CONTAINS,
+    URL_EQ,
+    URL_EXTENDS,
+)
+
+#: Event-key kinds detected by the URL alerter.
+URL_ALERTER_KINDS = frozenset(
+    {
+        "url_extends",
+        "url_eq",
+        "filename_eq",
+        "dtd_eq",
+        "dtdid_eq",
+        "docid_eq",
+        "domain_eq",
+        "last_accessed",
+        "last_update",
+        "doc_new",
+        "doc_updated",
+        "doc_unchanged",
+        "doc_deleted",
+    }
+)
+#: Event-key kinds detected by the XML alerter.
+XML_ALERTER_KINDS = frozenset(
+    {"self_contains", "tag_present", "tag_new", "tag_updated", "tag_deleted"}
+)
+
+_DOC_STATUS_KEYS = {
+    KIND_NEW: "doc_new",
+    KIND_UPDATED: "doc_updated",
+    KIND_UNCHANGED: "doc_unchanged",
+    KIND_DELETED: "doc_deleted",
+}
+_ELEMENT_KIND_KEYS = {
+    None: "tag_present",
+    KIND_NEW: "tag_new",
+    KIND_UPDATED: "tag_updated",
+    KIND_DELETED: "tag_deleted",
+}
+
+
+def resolve_target_tag(
+    target: str, from_bindings: Sequence[FromBinding]
+) -> str:
+    """Resolve a condition target: bound variable -> its path's last tag."""
+    for binding in from_bindings:
+        if binding.variable == target:
+            return last_tag_of_path(binding.path)
+    return target
+
+
+def last_tag_of_path(path: str) -> str:
+    """The element tag a binding path selects (``self//Member`` -> Member)."""
+    tail = path.rstrip("/").rsplit("/", 1)[-1]
+    if not tail or tail == "self" or tail == "*":
+        raise SubscriptionError(
+            f"cannot derive a tag from binding path {path!r}"
+        )
+    return tail
+
+
+def condition_event_key(
+    condition: AtomicCondition,
+    from_bindings: Sequence[FromBinding] = (),
+) -> AtomicEventKey:
+    """Canonical :class:`AtomicEventKey` for one parsed atomic condition."""
+    kind = condition.kind
+    if kind == URL_EXTENDS:
+        return AtomicEventKey("url_extends", condition.string)
+    if kind == URL_EQ:
+        return AtomicEventKey("url_eq", condition.string)
+    if kind == FILENAME_EQ:
+        return AtomicEventKey("filename_eq", condition.string)
+    if kind == DTD_EQ:
+        return AtomicEventKey("dtd_eq", condition.string)
+    if kind == DTDID_EQ:
+        return AtomicEventKey("dtdid_eq", int(condition.number or 0))
+    if kind == DOCID_EQ:
+        return AtomicEventKey("docid_eq", int(condition.number or 0))
+    if kind == DOMAIN_EQ:
+        return AtomicEventKey("domain_eq", condition.string)
+    if kind == LAST_ACCESSED:
+        return AtomicEventKey(
+            "last_accessed", (condition.comparator, condition.number)
+        )
+    if kind == LAST_UPDATE:
+        return AtomicEventKey(
+            "last_update", (condition.comparator, condition.number)
+        )
+    if kind == SELF_CONTAINS:
+        return AtomicEventKey(
+            "self_contains", normalize_word(condition.string or "")
+        )
+    if kind == DOC_STATUS:
+        status_kind = _DOC_STATUS_KEYS.get(condition.change_kind or "")
+        if status_kind is None:
+            raise SubscriptionError(
+                f"unknown document status {condition.change_kind!r}"
+            )
+        return AtomicEventKey(status_kind)
+    if kind == ELEMENT:
+        event_kind = _ELEMENT_KIND_KEYS.get(condition.change_kind)
+        if event_kind is None:
+            raise SubscriptionError(
+                f"unsupported element change kind {condition.change_kind!r}"
+            )
+        tag = resolve_target_tag(condition.target or "", from_bindings)
+        word: Optional[str] = None
+        if condition.string is not None:
+            word = normalize_word(condition.string)
+        return AtomicEventKey(event_kind, (tag, word, condition.strict))
+    raise SubscriptionError(f"unknown condition kind {kind!r}")

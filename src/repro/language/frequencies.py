@@ -1,0 +1,43 @@
+"""Frequencies used by continuous queries, reports, refresh and archive.
+
+The paper's example says ``try biweekly ... twice a week``, so ``biweekly``
+means *semi-weekly* (every 3.5 days), not fortnightly.  ``monthly`` is 30
+days by convention.
+"""
+
+from __future__ import annotations
+
+from ..clock import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MONTH,
+    SECONDS_PER_WEEK,
+)
+from ..errors import SubscriptionSyntaxError
+
+HOURLY = "hourly"
+DAILY = "daily"
+BIWEEKLY = "biweekly"
+WEEKLY = "weekly"
+MONTHLY = "monthly"
+
+PERIODS = {
+    HOURLY: SECONDS_PER_HOUR,
+    DAILY: SECONDS_PER_DAY,
+    BIWEEKLY: SECONDS_PER_WEEK / 2,
+    WEEKLY: SECONDS_PER_WEEK,
+    MONTHLY: SECONDS_PER_MONTH,
+}
+
+FREQUENCY_WORDS = frozenset(PERIODS)
+
+
+def period_seconds(frequency: str) -> float:
+    """Seconds of one period of ``frequency`` (raises on unknown words)."""
+    try:
+        return PERIODS[frequency]
+    except KeyError:
+        raise SubscriptionSyntaxError(
+            f"unknown frequency {frequency!r}; expected one of"
+            f" {sorted(PERIODS)}"
+        ) from None

@@ -1,0 +1,195 @@
+"""Lexer for the subscription language.
+
+Token kinds: WORD, STRING, NUMBER, CMP (comparators), PUNCT and TEMPLATE
+(a balanced XML snippet following ``select``, captured verbatim).  ``%``
+starts a comment running to end of line — the paper's examples use this.
+
+Tokens carry (line, column) and the source span, so the parser can slice
+embedded warehouse-query text verbatim out of the subscription source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SubscriptionSyntaxError
+
+WORD = "word"
+STRING = "string"
+NUMBER = "number"
+CMP = "cmp"
+PUNCT = "punct"
+TEMPLATE = "template"
+
+_COMPARATORS = ("<=", ">=", "!=", "=", "<", ">")
+#: ``@`` and ``*`` appear inside embedded warehouse-query text (report and
+#: continuous queries), which the subscription lexer passes through.
+_PUNCT_CHARS = ",.()@*"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+    start: int  # offset into the source
+    end: int
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            token = self._next_token(
+                template_ok=bool(out)
+                and out[-1].kind == WORD
+                and out[-1].value == "select"
+            )
+            if token is None:
+                return out
+            out.append(token)
+
+    # -- internals -----------------------------------------------------------
+
+    def _error(self, message: str) -> SubscriptionSyntaxError:
+        return SubscriptionSyntaxError(message, self._line, self._column)
+
+    def _advance(self, count: int) -> str:
+        chunk = self.source[self._pos : self._pos + count]
+        for ch in chunk:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return chunk
+
+    def _skip_blank(self) -> None:
+        while self._pos < len(self.source):
+            ch = self.source[self._pos]
+            if ch in " \t\r\n":
+                self._advance(1)
+            elif ch == "%":
+                end = self.source.find("\n", self._pos)
+                if end == -1:
+                    end = len(self.source)
+                self._advance(end - self._pos)
+            else:
+                return
+
+    def _next_token(self, template_ok: bool) -> Optional[Token]:
+        self._skip_blank()
+        if self._pos >= len(self.source):
+            return None
+        line, column, start = self._line, self._column, self._pos
+        ch = self.source[self._pos]
+
+        if ch == "<" and template_ok:
+            value = self._read_template()
+            return Token(TEMPLATE, value, line, column, start, self._pos)
+
+        for comparator in _COMPARATORS:
+            if self.source.startswith(comparator, self._pos):
+                self._advance(len(comparator))
+                return Token(CMP, comparator, line, column, start, self._pos)
+
+        if ch in "\"'":
+            value = self._read_string()
+            return Token(STRING, value, line, column, start, self._pos)
+
+        if ch in _PUNCT_CHARS:
+            self._advance(1)
+            return Token(PUNCT, ch, line, column, start, self._pos)
+
+        if ch.isdigit():
+            value = self._read_number()
+            return Token(NUMBER, value, line, column, start, self._pos)
+
+        if ch.isalpha() or ch in "_/":
+            value = self._read_word()
+            return Token(WORD, value, line, column, start, self._pos)
+
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _read_string(self) -> str:
+        quote = self.source[self._pos]
+        self._advance(1)
+        end = self.source.find(quote, self._pos)
+        if end == -1:
+            raise self._error("unterminated string literal")
+        value = self.source[self._pos : end]
+        self._advance(end - self._pos + 1)
+        return value
+
+    def _read_number(self) -> str:
+        start = self._pos
+        while self._pos < len(self.source) and (
+            self.source[self._pos].isdigit() or self.source[self._pos] == "."
+        ):
+            # A trailing dot is punctuation (e.g. "Sub.Query"), not decimal.
+            if self.source[self._pos] == "." and not (
+                self._pos + 1 < len(self.source)
+                and self.source[self._pos + 1].isdigit()
+            ):
+                break
+            self._advance(1)
+        return self.source[start : self._pos]
+
+    def _read_word(self) -> str:
+        start = self._pos
+        while self._pos < len(self.source) and (
+            self.source[self._pos].isalnum()
+            or self.source[self._pos] in "_-:/"
+        ):
+            self._advance(1)
+        return self.source[start : self._pos]
+
+    def _read_template(self) -> str:
+        """Capture a balanced XML snippet starting at ``<``.
+
+        Handles self-closing elements and nested same-name elements; string
+        attribute values may contain angle brackets.
+        """
+        start = self._pos
+        depth = 0
+        in_quote: Optional[str] = None
+        while self._pos < len(self.source):
+            ch = self.source[self._pos]
+            if in_quote is not None:
+                if ch == in_quote:
+                    in_quote = None
+                self._advance(1)
+                continue
+            if ch in "\"'":
+                in_quote = ch
+                self._advance(1)
+                continue
+            if ch == "<":
+                if self.source.startswith("</", self._pos):
+                    depth -= 1
+                else:
+                    depth += 1
+                self._advance(1)
+                continue
+            if ch == ">":
+                if self.source[self._pos - 1] == "/":
+                    depth -= 1  # self-closing tag
+                self._advance(1)
+                if depth == 0:
+                    return self.source[start : self._pos]
+                continue
+            self._advance(1)
+        raise self._error("unterminated XML template in select clause")
+
+
+def tokenize(source: str) -> List[Token]:
+    return Lexer(source).tokens()

@@ -1,0 +1,172 @@
+"""Unparser: Subscription AST -> subscription-language source.
+
+The Subscription Manager persists subscription *text* for recovery; when a
+subscription is registered programmatically (built as an AST), this module
+renders canonical source for it.  ``parse_subscription(unparse(ast))``
+reproduces the AST — a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import SubscriptionError
+from .ast import (
+    AtomicCondition,
+    ContinuousQuery,
+    CountCondition,
+    DOC_STATUS,
+    DOCID_EQ,
+    DOMAIN_EQ,
+    DTD_EQ,
+    DTDID_EQ,
+    ELEMENT,
+    FILENAME_EQ,
+    ImmediateCondition,
+    LAST_ACCESSED,
+    LAST_UPDATE,
+    MonitoringQuery,
+    PeriodicCondition,
+    ReportSpec,
+    SELF_CONTAINS,
+    Subscription,
+    URL_EQ,
+    URL_EXTENDS,
+)
+
+
+def unparse(subscription: Subscription) -> str:
+    """Render a subscription AST back to source text."""
+    lines: List[str] = [f"subscription {subscription.name}"]
+    for query in subscription.monitoring:
+        lines.append("")
+        lines.extend(_monitoring_lines(query))
+    for continuous in subscription.continuous:
+        lines.append("")
+        lines.extend(_continuous_lines(continuous))
+    if subscription.report is not None:
+        lines.append("")
+        lines.extend(_report_lines(subscription.report))
+    for refresh in subscription.refreshes:
+        lines.append("")
+        lines.append(f'refresh "{refresh.url}" {refresh.frequency}')
+    for virtual in subscription.virtuals:
+        lines.append("")
+        if virtual.query is None:
+            lines.append(f"virtual {virtual.subscription}")
+        else:
+            lines.append(f"virtual {virtual.subscription}.{virtual.query}")
+    return "\n".join(lines) + "\n"
+
+
+def _monitoring_lines(query: MonitoringQuery) -> List[str]:
+    lines = [
+        f"monitoring {query.name}" if query.name else "monitoring"
+    ]
+    if query.select.template is not None:
+        lines.append(f"select {query.select.template}")
+    elif query.select.items:
+        lines.append("select " + ", ".join(query.select.items))
+    else:
+        raise SubscriptionError(
+            "cannot unparse an empty select specification"
+        )
+    if query.from_bindings:
+        bindings = ", ".join(
+            f"{binding.path} {binding.variable}"
+            for binding in query.from_bindings
+        )
+        lines.append(f"from {bindings}")
+    disjunct_texts = [
+        "\n  and ".join(
+            unparse_condition(condition) for condition in disjunct
+        )
+        for disjunct in query.all_disjuncts()
+    ]
+    lines.append("where " + "\n  or ".join(disjunct_texts))
+    return lines
+
+
+def unparse_condition(condition: AtomicCondition) -> str:
+    kind = condition.kind
+    if kind == URL_EXTENDS:
+        return f'URL extends "{condition.string}"'
+    if kind == URL_EQ:
+        return f'URL = "{condition.string}"'
+    if kind == FILENAME_EQ:
+        return f'filename = "{condition.string}"'
+    if kind == DTD_EQ:
+        return f'DTD = "{condition.string}"'
+    if kind == DTDID_EQ:
+        return f"DTDID = {int(condition.number or 0)}"
+    if kind == DOCID_EQ:
+        return f"DOCID = {int(condition.number or 0)}"
+    if kind == DOMAIN_EQ:
+        return f'domain = "{condition.string}"'
+    if kind == LAST_ACCESSED:
+        return f"LastAccessed {condition.comparator} {condition.number:.0f}"
+    if kind == LAST_UPDATE:
+        return f"LastUpdate {condition.comparator} {condition.number:.0f}"
+    if kind == SELF_CONTAINS:
+        return f'self contains "{condition.string}"'
+    if kind == DOC_STATUS:
+        return f"{condition.change_kind} self"
+    if kind == ELEMENT:
+        parts = []
+        if condition.change_kind is not None:
+            parts.append(condition.change_kind)
+        parts.append(condition.target or "")
+        if condition.string is not None:
+            if condition.strict:
+                parts.append(f'strict contains "{condition.string}"')
+            else:
+                parts.append(f'contains "{condition.string}"')
+        return " ".join(part for part in parts if part)
+    raise SubscriptionError(f"cannot unparse condition kind {kind!r}")
+
+
+def _continuous_lines(continuous: ContinuousQuery) -> List[str]:
+    head = "continuous "
+    if continuous.delta:
+        head += "delta "
+    head += continuous.name
+    lines = [head, continuous.query_text.strip()]
+    if continuous.frequency is not None:
+        lines.append(f"when {continuous.frequency}")
+    elif continuous.trigger is not None:
+        lines.append(
+            f"when {continuous.trigger.subscription}"
+            f".{continuous.trigger.query}"
+        )
+    return lines
+
+
+def _report_lines(report: ReportSpec) -> List[str]:
+    lines = ["report"]
+    if report.query_text is not None:
+        lines.append(report.query_text.strip())
+    terms = []
+    for term in report.when.terms:
+        if isinstance(term, ImmediateCondition):
+            terms.append("immediate")
+        elif isinstance(term, PeriodicCondition):
+            terms.append(term.frequency)
+        elif isinstance(term, CountCondition):
+            if term.query_name is None:
+                terms.append(f"count >= {term.threshold}")
+            else:
+                terms.append(
+                    f"count({term.query_name}) >= {term.threshold}"
+                )
+        else:
+            raise SubscriptionError(
+                f"cannot unparse report term {term!r}"
+            )
+    lines.append("when " + " or ".join(terms))
+    if report.atmost_count is not None:
+        lines.append(f"atmost {report.atmost_count}")
+    if report.atmost_frequency is not None:
+        lines.append(f"atmost {report.atmost_frequency}")
+    if report.archive_frequency is not None:
+        lines.append(f"archive {report.archive_frequency}")
+    return lines

@@ -1,0 +1,99 @@
+"""Static validation of parsed subscriptions.
+
+Applies the checks the Subscription Manager runs before accepting a
+subscription:
+
+* the weak/strong rule (Section 5.1): each monitoring query's ``where``
+  clause must contain at least one strong condition;
+* variable hygiene: select items and element conditions referring to
+  variables must use variables bound by the ``from`` clause;
+* trigger references: a continuous query triggered by a notification must
+  name a monitoring query of some subscription (checked against this
+  subscription when the names match);
+* a non-virtual subscription must do *something* (have a query or refresh).
+
+Resource/cost control (stop words, too-wide domains, too-frequent triggers,
+Section 5.4) is dynamic and lives in ``repro.subscription.cost``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import SubscriptionError, WeakConditionError
+from .ast import MonitoringQuery, Subscription
+from .frequencies import FREQUENCY_WORDS
+
+
+def validate_subscription(subscription: Subscription) -> None:
+    """Raise a :class:`SubscriptionError` subclass on the first violation."""
+    if not (
+        subscription.monitoring
+        or subscription.continuous
+        or subscription.refreshes
+        or subscription.virtuals
+    ):
+        raise SubscriptionError(
+            f"subscription {subscription.name!r} is empty"
+        )
+    # The when clause of a report is compulsory (Section 5.3), but the
+    # section itself may be omitted — the Subscription Manager then attaches
+    # a default ``report when immediate`` (see repro.subscription.compiler).
+    seen_names: set = set()
+    for query in subscription.monitoring:
+        if query.name is not None:
+            if query.name in seen_names:
+                raise SubscriptionError(
+                    f"duplicate monitoring query name {query.name!r}"
+                )
+            seen_names.add(query.name)
+        _validate_monitoring(subscription.name, query)
+    for continuous in subscription.continuous:
+        if continuous.name in seen_names:
+            raise SubscriptionError(
+                f"duplicate query name {continuous.name!r}"
+            )
+        seen_names.add(continuous.name)
+        if (continuous.frequency is None) == (continuous.trigger is None):
+            raise SubscriptionError(
+                f"continuous query {continuous.name!r} needs exactly one of"
+                " a frequency or a notification trigger"
+            )
+        if (
+            continuous.frequency is not None
+            and continuous.frequency not in FREQUENCY_WORDS
+        ):
+            raise SubscriptionError(
+                f"unknown frequency {continuous.frequency!r}"
+            )
+
+
+def _validate_monitoring(
+    subscription_name: str, query: MonitoringQuery
+) -> None:
+    if not query.conditions:
+        raise SubscriptionError(
+            f"monitoring query in {subscription_name!r} has no condition"
+        )
+    for disjunct in query.all_disjuncts():
+        if all(condition.weak for condition in disjunct):
+            raise WeakConditionError(
+                f"monitoring query in {subscription_name!r} has a disjunct"
+                " using only weak conditions (new/updated/unchanged self);"
+                " add a strong condition such as a URL pattern"
+            )
+    bound = {binding.variable for binding in query.from_bindings}
+    for item in _select_variables(query):
+        if item not in bound:
+            raise SubscriptionError(
+                f"select item {item!r} is not bound by the from clause"
+            )
+
+
+def _select_variables(query: MonitoringQuery) -> List[str]:
+    names: List[str] = []
+    for item in query.select.items:
+        head = item.split("/", 1)[0].split("@", 1)[0]
+        if head and head != "self":
+            names.append(head)
+    return names

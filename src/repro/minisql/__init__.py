@@ -1,0 +1,53 @@
+"""Embedded relational store — the reproduction's MySQL substitute.
+
+The paper's Subscription Manager "uses the same MySQL database for
+recovery" (Section 3).  This package provides the surface that role needs:
+typed tables, predicates, point lookups, secondary indexes, and WAL-based
+durability with snapshot checkpoints.
+"""
+
+from .database import Database
+from .predicates import (
+    And,
+    Eq,
+    Everything,
+    Ge,
+    Gt,
+    IsNull,
+    Le,
+    Like,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Predicate,
+)
+from .table import Table
+from .types import BOOLEAN, INTEGER, REAL, TEXT, Column, TableSchema, schema
+from .wal import WriteAheadLog
+
+__all__ = [
+    "Database",
+    "And",
+    "Eq",
+    "Everything",
+    "Ge",
+    "Gt",
+    "IsNull",
+    "Le",
+    "Like",
+    "Lt",
+    "Ne",
+    "Not",
+    "Or",
+    "Predicate",
+    "Table",
+    "BOOLEAN",
+    "INTEGER",
+    "REAL",
+    "TEXT",
+    "Column",
+    "TableSchema",
+    "schema",
+    "WriteAheadLog",
+]

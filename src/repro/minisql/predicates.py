@@ -1,0 +1,164 @@
+"""Predicate expressions for ``WHERE`` clauses of the embedded store.
+
+Composable, evaluated against row dictionaries::
+
+    where = And(Eq("owner", "nguyen"), Like("url", "http://inria.fr/%"))
+    rows = table.select(where)
+
+``Like`` supports the SQL ``%`` (any run) and ``_`` (one character)
+wildcards, which is all the Subscription Manager needs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`matches`."""
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        raise NotImplementedError
+
+    # Equality-lookup extraction lets tables use their primary-key or
+    # secondary indexes instead of scanning.
+    def equality_on(self, column: str) -> Optional[Any]:
+        """If the predicate pins ``column`` to one value, return it."""
+        return None
+
+
+@dataclass(frozen=True)
+class Everything(Predicate):
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) == self.value
+
+    def equality_on(self, column: str) -> Optional[Any]:
+        return self.value if column == self.column else None
+
+
+@dataclass(frozen=True)
+class Ne(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) != self.value
+
+
+@dataclass(frozen=True)
+class Lt(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        return current is not None and current < self.value
+
+
+@dataclass(frozen=True)
+class Le(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        return current is not None and current <= self.value
+
+
+@dataclass(frozen=True)
+class Gt(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        return current is not None and current > self.value
+
+
+@dataclass(frozen=True)
+class Ge(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        current = row.get(self.column)
+        return current is not None and current >= self.value
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    column: str
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) is None
+
+
+class Like(Predicate):
+    """SQL LIKE with ``%`` and ``_`` wildcards (case-sensitive)."""
+
+    def __init__(self, column: str, pattern: str):
+        self.column = column
+        self.pattern = pattern
+        regex = "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+            for ch in pattern
+        )
+        self._regex = re.compile(f"^{regex}$", re.DOTALL)
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        value = row.get(self.column)
+        return isinstance(value, str) and bool(self._regex.match(value))
+
+    def __repr__(self) -> str:
+        return f"Like({self.column!r}, {self.pattern!r})"
+
+
+class And(Predicate):
+    def __init__(self, *parts: Predicate):
+        self.parts: Tuple[Predicate, ...] = parts
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return all(part.matches(row) for part in self.parts)
+
+    def equality_on(self, column: str) -> Optional[Any]:
+        for part in self.parts:
+            value = part.equality_on(column)
+            if value is not None:
+                return value
+        return None
+
+    def __repr__(self) -> str:
+        return f"And{self.parts!r}"
+
+
+class Or(Predicate):
+    def __init__(self, *parts: Predicate):
+        self.parts: Tuple[Predicate, ...] = parts
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return any(part.matches(row) for part in self.parts)
+
+    def __repr__(self) -> str:
+        return f"Or{self.parts!r}"
+
+
+class Not(Predicate):
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return not self.part.matches(row)
+
+    def __repr__(self) -> str:
+        return f"Not({self.part!r})"

@@ -1,0 +1,212 @@
+"""In-memory table with primary-key and secondary hash indexes.
+
+Mutations emit *physical* per-row effects (rowid + full row state) to an
+observer callback; the database writes these to the write-ahead log, and
+recovery replays them verbatim.  Logical predicates are evaluated only once,
+at mutation time — never during recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..errors import MiniSQLError, SchemaError
+from .predicates import Everything, Predicate
+from .types import TableSchema
+
+#: observer(op, table_name, payload); op in {"insert", "update", "delete"}.
+Observer = Callable[[str, str, Dict[str, Any]], None]
+
+
+class Table:
+    """Rows are stored as dicts keyed by an internal rowid."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: Dict[int, Dict[str, Any]] = {}
+        self._next_rowid = 1
+        self._primary_index: Dict[Any, int] = {}
+        self._secondary: Dict[str, Dict[Any, set]] = {}
+        self.observer: Optional[Observer] = None
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Yield copies of all rows (callers cannot corrupt indexes)."""
+        for row in self._rows.values():
+            yield dict(row)
+
+    def create_index(self, column: str) -> None:
+        """Create a secondary hash index over ``column`` (idempotent)."""
+        self.schema.column(column)  # raises SchemaError on unknown column
+        if column in self._secondary:
+            return
+        index: Dict[Any, set] = {}
+        for rowid, row in self._rows.items():
+            index.setdefault(row[column], set()).add(rowid)
+        self._secondary[column] = index
+
+    def _notify(self, op: str, payload: Dict[str, Any]) -> None:
+        if self.observer is not None:
+            self.observer(op, self.name, payload)
+
+    # -- physical operations (shared by API calls and WAL replay) -----------
+
+    def apply_physical(self, op: str, payload: Dict[str, Any]) -> None:
+        """Replay one logged effect. Used by recovery only."""
+        if op == "insert":
+            self._store(payload["rowid"], payload["row"])
+        elif op == "update":
+            self._replace(payload["rowid"], payload["row"])
+        elif op == "delete":
+            self._remove(payload["rowid"])
+        else:
+            raise MiniSQLError(f"unknown WAL operation {op!r}")
+
+    def _store(self, rowid: int, stored: Dict[str, Any]) -> None:
+        self._rows[rowid] = stored
+        if rowid >= self._next_rowid:
+            self._next_rowid = rowid + 1
+        pk = self.schema.primary_key
+        if pk is not None:
+            self._primary_index[stored[pk]] = rowid
+        for column, index in self._secondary.items():
+            index.setdefault(stored[column], set()).add(rowid)
+
+    def _replace(self, rowid: int, updated: Dict[str, Any]) -> None:
+        row = self._rows[rowid]
+        pk = self.schema.primary_key
+        if pk is not None and updated[pk] != row[pk]:
+            del self._primary_index[row[pk]]
+            self._primary_index[updated[pk]] = rowid
+        for column, index in self._secondary.items():
+            if updated[column] != row[column]:
+                index[row[column]].discard(rowid)
+                index.setdefault(updated[column], set()).add(rowid)
+        self._rows[rowid] = updated
+
+    def _remove(self, rowid: int) -> None:
+        row = self._rows.pop(rowid)
+        pk = self.schema.primary_key
+        if pk is not None:
+            self._primary_index.pop(row[pk], None)
+        for column, index in self._secondary.items():
+            index.get(row[column], set()).discard(rowid)
+
+    # -- mutations ---------------------------------------------------------
+
+    def insert(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Insert a row; returns the stored (coerced, completed) row."""
+        stored = self.schema.validate_row(row)
+        pk = self.schema.primary_key
+        if pk is not None and stored[pk] in self._primary_index:
+            raise MiniSQLError(
+                f"duplicate primary key {stored[pk]!r} in table {self.name!r}"
+            )
+        rowid = self._next_rowid
+        self._store(rowid, stored)
+        self._notify("insert", {"rowid": rowid, "row": dict(stored)})
+        return dict(stored)
+
+    def update(self, where: Predicate, changes: Dict[str, Any]) -> int:
+        """Update matching rows; returns the number updated."""
+        for column in changes:
+            self.schema.column(column)
+        count = 0
+        for rowid in list(self._candidate_rowids(where)):
+            row = self._rows.get(rowid)
+            if row is None or not where.matches(row):
+                continue
+            updated = dict(row)
+            updated.update(changes)
+            updated = self.schema.validate_row(updated)
+            pk = self.schema.primary_key
+            if (
+                pk is not None
+                and updated[pk] != row[pk]
+                and updated[pk] in self._primary_index
+            ):
+                raise MiniSQLError(
+                    f"update would duplicate primary key {updated[pk]!r}"
+                )
+            self._replace(rowid, updated)
+            self._notify("update", {"rowid": rowid, "row": dict(updated)})
+            count += 1
+        return count
+
+    def delete(self, where: Predicate) -> int:
+        """Delete matching rows; returns the number deleted."""
+        count = 0
+        for rowid in list(self._candidate_rowids(where)):
+            row = self._rows.get(rowid)
+            if row is None or not where.matches(row):
+                continue
+            self._remove(rowid)
+            self._notify("delete", {"rowid": rowid})
+            count += 1
+        return count
+
+    # -- queries -----------------------------------------------------------
+
+    def select(
+        self,
+        where: Optional[Predicate] = None,
+        columns: Optional[List[str]] = None,
+        order_by: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Return matching rows (copies), optionally projected and ordered."""
+        predicate = where if where is not None else Everything()
+        if columns is not None:
+            for column in columns:
+                self.schema.column(column)
+        results = []
+        for rowid in self._candidate_rowids(predicate):
+            row = self._rows.get(rowid)
+            if row is not None and predicate.matches(row):
+                results.append(dict(row))
+        if order_by is not None:
+            self.schema.column(order_by)
+            results.sort(key=lambda r: (r[order_by] is None, r[order_by]))
+        if limit is not None:
+            results = results[:limit]
+        if columns is not None:
+            results = [{c: row[c] for c in columns} for row in results]
+        return results
+
+    def count(self, where: Optional[Predicate] = None) -> int:
+        if where is None:
+            return len(self._rows)
+        return len(self.select(where))
+
+    def get(self, key: Any) -> Optional[Dict[str, Any]]:
+        """Primary-key point lookup; None when absent."""
+        pk = self.schema.primary_key
+        if pk is None:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        rowid = self._primary_index.get(key)
+        return dict(self._rows[rowid]) if rowid is not None else None
+
+    def _candidate_rowids(self, where: Predicate) -> Iterator[int]:
+        """Narrow the scan using the primary or a secondary index."""
+        pk = self.schema.primary_key
+        if pk is not None:
+            key = where.equality_on(pk)
+            if key is not None:
+                rowid = self._primary_index.get(key)
+                if rowid is not None:
+                    yield rowid
+                return
+        for column, index in self._secondary.items():
+            key = where.equality_on(column)
+            if key is not None:
+                yield from list(index.get(key, ()))
+                return
+        yield from list(self._rows)

@@ -1,0 +1,13 @@
+"""End-to-end subscription system assembly."""
+
+from .stream import Fetch, from_pairs, HTML_PAGE, XML_PAGE
+from .system import FeedResult, SubscriptionSystem
+
+__all__ = [
+    "Fetch",
+    "from_pairs",
+    "HTML_PAGE",
+    "XML_PAGE",
+    "FeedResult",
+    "SubscriptionSystem",
+]

@@ -1,0 +1,270 @@
+"""The assembled subscription system (Figure 3).
+
+:class:`SubscriptionSystem` wires every module of the reproduction the way
+the paper's architecture diagram does: the document flow enters through the
+loader/repository, Alerters detect atomic events, the Monitoring Query
+Processor detects complex events, notifications are routed by the
+Subscription Manager to the Reporter and the Trigger Engine, and reports
+leave through the email sink / web publisher.
+
+This is the facade examples and integration tests use::
+
+    system = SubscriptionSystem()
+    system.subscribe('subscription S ...', owner_email='user@example.org')
+    system.feed_xml('http://site/catalog.xml', '<catalog>...</catalog>')
+    system.advance_days(7)   # trigger engine + reporter timers run
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from ..alerters.chain import AlerterChain
+from ..alerters.context import FetchedDocument
+from ..clock import Clock, SECONDS_PER_DAY, SimulatedClock
+from ..core.aes import AESMatcher
+from ..core.processor import Alert, MonitoringQueryProcessor, Notification
+from ..core.sharding import (
+    FlowPartitionedProcessor,
+    SubscriptionPartitionedProcessor,
+)
+from ..diff.changes import classify_changes
+from ..errors import ReportingError, XMLSyntaxError
+from ..minisql import Database
+from ..query.engine import QueryEngine
+from ..reporting.email_sink import EmailSink, WebPublisher
+from ..reporting.reporter import Reporter
+from ..repository.semantics import SemanticClassifier
+from ..repository.store import FetchOutcome, Repository
+from ..subscription.compiler import SubscriptionCompiler
+from ..subscription.cost import CostController
+from ..subscription.manager import SubscriptionManager
+from ..triggers.answers import QueryAnswerStore
+from ..triggers.engine import TriggerEngine
+from ..xmlstore.nodes import Document
+from .stream import Fetch
+
+
+@dataclass
+class FeedResult:
+    """What one fetched page produced inside the system."""
+
+    outcome: FetchOutcome
+    alert: Optional[Alert]
+    notifications: List[Notification]
+
+
+class SubscriptionSystem:
+    """The assembled Figure 3 architecture behind one facade.
+
+    Wires repository, alerters, MQP (optionally sharded), Subscription
+    Manager, Trigger Engine and Reporter on a shared simulated clock.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        classifier: Optional[SemanticClassifier] = None,
+        matcher_factory: Callable = AESMatcher,
+        database: Optional[Database] = None,
+        daily_email_capacity: int = 300_000,
+        cost_controller: Optional[CostController] = None,
+        shards: int = 1,
+        shard_mode: str = "flow",
+    ):
+        """``shards`` > 1 distributes the MQP (Section 4.2): ``shard_mode``
+        is "flow" (documents partitioned; every shard holds all
+        subscriptions) or "subscriptions" (subscriptions partitioned; every
+        document visits every shard)."""
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.classifier = (
+            classifier if classifier is not None else SemanticClassifier()
+        )
+        self.repository = Repository(
+            classifier=self.classifier, clock=self.clock
+        )
+        self.query_engine = QueryEngine(self.repository)
+        if shards <= 1:
+            self.processor: Any = MonitoringQueryProcessor(
+                matcher_factory=matcher_factory, clock=self.clock
+            )
+        elif shard_mode == "subscriptions":
+            self.processor = SubscriptionPartitionedProcessor(
+                shard_count=shards,
+                matcher_factory=matcher_factory,
+                clock=self.clock,
+            )
+        else:
+            self.processor = FlowPartitionedProcessor(
+                shard_count=shards,
+                matcher_factory=matcher_factory,
+                clock=self.clock,
+            )
+        self.alerter_chain = AlerterChain()
+        self.email_sink = EmailSink(
+            clock=self.clock, daily_capacity=daily_email_capacity
+        )
+        self.publisher = WebPublisher()
+        self.reporter = Reporter(
+            clock=self.clock,
+            email_sink=self.email_sink,
+            publisher=self.publisher,
+            report_query_runner=self._run_report_query,
+        )
+        self.answer_store = QueryAnswerStore()
+        self.trigger_engine = TriggerEngine(
+            query_engine=self.query_engine,
+            deliver=self._deliver_continuous,
+            clock=self.clock,
+            answer_store=self.answer_store,
+        )
+        if cost_controller is None:
+            cost_controller = CostController(
+                indexes=self.repository.indexes,
+                total_documents=0,
+            )
+        self.cost_controller = cost_controller
+        self.compiler = SubscriptionCompiler(
+            processor=self.processor,
+            alerter_chain=self.alerter_chain,
+            trigger_engine=self.trigger_engine,
+            reporter=self.reporter,
+            repository=self.repository,
+        )
+        self.manager = SubscriptionManager(
+            compiler=self.compiler,
+            cost_controller=cost_controller,
+            database=database,
+        )
+        self.processor.add_sink(self.manager.handle_notifications)
+        self.documents_fed = 0
+        self.documents_rejected = 0
+
+    # -- subscription API -----------------------------------------------------------
+
+    def subscribe(
+        self,
+        source: str,
+        owner_email: Optional[str] = None,
+        recipients: Tuple[str, ...] = (),
+        privileged: Optional[bool] = None,
+    ) -> int:
+        self.cost_controller.total_documents = len(self.repository)
+        return self.manager.add_subscription(
+            source,
+            owner_email=owner_email,
+            recipients=recipients,
+            privileged=privileged,
+        )
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        self.manager.remove_subscription(subscription_id)
+
+    # -- document flow ------------------------------------------------------------------
+
+    def feed_xml(self, url: str, content: str) -> FeedResult:
+        """One XML page fetched by the (simulated) crawler."""
+        outcome = self.repository.store_xml(url, content)
+        changes = None
+        if outcome.delta is not None and outcome.old_document is not None:
+            assert outcome.document is not None
+            changes = classify_changes(
+                outcome.old_document, outcome.document, outcome.delta
+            )
+        fetched = FetchedDocument(
+            url=url,
+            meta=outcome.meta,
+            status=outcome.status,
+            document=outcome.document,
+            changes=changes,
+        )
+        return self._process(outcome, fetched)
+
+    def feed_html(self, url: str, content: str) -> FeedResult:
+        """One HTML page: signature tracking + keyword alerting only."""
+        outcome = self.repository.store_html(url, content)
+        fetched = FetchedDocument(
+            url=url,
+            meta=outcome.meta,
+            status=outcome.status,
+            raw_content=content,
+        )
+        return self._process(outcome, fetched)
+
+    def feed(self, fetch: Fetch) -> FeedResult:
+        if fetch.is_xml:
+            return self.feed_xml(fetch.url, fetch.content)
+        return self.feed_html(fetch.url, fetch.content)
+
+    def run_stream(
+        self, stream: Iterable[Fetch], skip_malformed: bool = True
+    ) -> List[FeedResult]:
+        """Feed a whole stream.
+
+        Real crawls contain malformed pages; with ``skip_malformed`` (the
+        default) a page the loader rejects is counted
+        (``documents_rejected``) and skipped rather than aborting the
+        stream.
+        """
+        results: List[FeedResult] = []
+        for fetch in stream:
+            try:
+                results.append(self.feed(fetch))
+            except XMLSyntaxError:
+                if not skip_malformed:
+                    raise
+                self.documents_rejected += 1
+        return results
+
+    def _process(
+        self, outcome: FetchOutcome, fetched: FetchedDocument
+    ) -> FeedResult:
+        self.documents_fed += 1
+        alert = self.alerter_chain.build_alert(fetched)
+        notifications: List[Notification] = []
+        if alert is not None:
+            notifications = self.processor.process_alert(alert)
+        return FeedResult(
+            outcome=outcome, alert=alert, notifications=notifications
+        )
+
+    # -- time ----------------------------------------------------------------------------
+
+    def advance_time(self, seconds: float, tick_every: float = 3600.0) -> None:
+        """Advance the simulated clock, running timers along the way.
+
+        Timers (trigger engine, reporter) are evaluated every ``tick_every``
+        simulated seconds so periodic conditions fire at the right times
+        within long jumps.
+        """
+        if not isinstance(self.clock, SimulatedClock):
+            raise TypeError("advance_time requires a SimulatedClock")
+        remaining = seconds
+        while remaining > 0:
+            step = min(tick_every, remaining)
+            self.clock.advance(step)
+            remaining -= step
+            self.trigger_engine.tick()
+            self.reporter.tick()
+
+    def advance_days(self, days: float) -> None:
+        self.advance_time(days * SECONDS_PER_DAY)
+
+    # -- internal wiring -----------------------------------------------------------------
+
+    def _deliver_continuous(
+        self, subscription_id: int, query_name: str, elements
+    ) -> None:
+        try:
+            self.reporter.deliver(subscription_id, query_name, elements)
+        except ReportingError:
+            pass
+
+    def _run_report_query(
+        self, query_text: str, report_document: Document
+    ) -> Document:
+        result = self.query_engine.evaluate_on_document(
+            query_text, report_document, name="Report"
+        )
+        return result.to_document()

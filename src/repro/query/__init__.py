@@ -1,0 +1,23 @@
+"""Warehouse query language — the Xyleme query processor substitute [2].
+
+Continuous queries (Section 5.2) and report queries (Section 5.3) are
+expressed in this language::
+
+    select p/title
+    from culture/museum m, m/painting p
+    where m/address contains "Amsterdam"
+"""
+
+from .ast import Condition, FromClause, Query, SelectItem
+from .engine import QueryEngine, QueryResult
+from .parser import parse_query
+
+__all__ = [
+    "Condition",
+    "FromClause",
+    "Query",
+    "SelectItem",
+    "QueryEngine",
+    "QueryResult",
+    "parse_query",
+]

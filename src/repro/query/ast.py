@@ -1,0 +1,80 @@
+"""AST for the warehouse query language (``repro.query``).
+
+Shape follows the paper's examples (Section 5.2)::
+
+    select p/title
+    from culture/museum m, m/painting p
+    where m/address contains "Amsterdam"
+
+* ``from`` binds variables by navigating from a *source* — an abstract
+  domain (``culture``), a specific document (``doc("url")``), every XML
+  document (``*``) — or from a previously bound variable.
+* ``where`` is a conjunction of conditions on variable-rooted paths.
+* ``select`` lists variable-rooted paths / variables / attribute selections
+  whose matches form the result sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..xmlstore.paths import PathExpression
+
+SOURCE_DOMAIN = "domain"
+SOURCE_DOCUMENT = "document"
+SOURCE_ALL = "all"
+SOURCE_VARIABLE = "variable"
+
+OP_CONTAINS = "contains"
+OP_STRICT_CONTAINS = "strict contains"
+OP_EQ = "="
+OP_NE = "!="
+OP_LT = "<"
+OP_LE = "<="
+OP_GT = ">"
+OP_GE = ">="
+
+COMPARISON_OPS = (OP_EQ, OP_NE, OP_LT, OP_LE, OP_GT, OP_GE)
+
+
+@dataclass(frozen=True)
+class FromClause:
+    """``<source>/<path> <variable>`` — one binding generator."""
+
+    source_kind: str          # one of the SOURCE_* constants
+    source_name: Optional[str]  # domain name / document URL / variable name
+    path: Optional[PathExpression]  # None binds the root/source node itself
+    variable: str
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``<variable>(/<path>) <op> <literal>``.
+
+    For ``contains``/``strict contains`` the literal is a word; for
+    comparisons it is compared numerically when both sides parse as numbers,
+    lexicographically otherwise (on the node's text content).
+    """
+
+    variable: str
+    path: Optional[PathExpression]
+    op: str
+    literal: str
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """``<variable>(/<path>)(@attr)`` — one result contributor."""
+
+    variable: str
+    path: Optional[PathExpression]
+
+
+@dataclass(frozen=True)
+class Query:
+    select_items: Tuple[SelectItem, ...]
+    from_clauses: Tuple[FromClause, ...]
+    conditions: Tuple[Condition, ...]
+    #: Optional result-element name (defaults to "result" at evaluation).
+    name: Optional[str] = None

@@ -1,0 +1,323 @@
+"""Query evaluation over the warehouse or a standalone document.
+
+Nested-loop evaluation of the ``from`` clauses with early filtering by the
+``where`` conjunction.  Results are XML elements — the shape the Trigger
+Engine versions (``continuous delta``) and the Reporter post-processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..errors import QueryError
+from ..repository.store import Repository
+from ..xmlstore.nodes import Document, ElementNode, TextNode
+from ..xmlstore.paths import PathExpression
+from ..xmlstore.serializer import serialize
+from ..xmlstore.words import normalize_word, unique_words
+from .ast import (
+    Condition,
+    FromClause,
+    OP_CONTAINS,
+    OP_EQ,
+    OP_GE,
+    OP_GT,
+    OP_LE,
+    OP_LT,
+    OP_NE,
+    OP_STRICT_CONTAINS,
+    Query,
+    SelectItem,
+    SOURCE_ALL,
+    SOURCE_DOCUMENT,
+    SOURCE_DOMAIN,
+    SOURCE_VARIABLE,
+)
+from .parser import parse_query, resolve_sources
+
+Binding = Dict[str, ElementNode]
+
+
+class QueryResult:
+    """Ordered list of result items (elements or attribute strings)."""
+
+    def __init__(self, items: List[Union[ElementNode, str]], name: str):
+        self.items = items
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def to_element(self) -> ElementNode:
+        """Wrap the items in ``<name>...</name>`` (copies the elements)."""
+        wrapper = ElementNode(self.name)
+        for item in self.items:
+            if isinstance(item, str):
+                wrapper.make_child("value", text=item)
+            else:
+                wrapper.append(_copy_element(item))
+        return wrapper
+
+    def to_document(self) -> Document:
+        return Document(self.to_element())
+
+    def to_xml(self) -> str:
+        return serialize(self.to_element())
+
+
+def _copy_element(node: ElementNode) -> ElementNode:
+    copy = ElementNode(node.tag, dict(node.attributes))
+    for child in node.children:
+        if isinstance(child, TextNode):
+            copy.append_text(child.data)
+        else:
+            assert isinstance(child, ElementNode)
+            copy.append(_copy_element(child))
+    return copy
+
+
+class QueryEngine:
+    """Evaluates parsed (or textual) queries against a repository."""
+
+    def __init__(self, repository: Repository):
+        self.repository = repository
+
+    # -- public API ------------------------------------------------------------
+
+    def evaluate(
+        self, query: Union[str, Query], name: Optional[str] = None
+    ) -> QueryResult:
+        if isinstance(query, str):
+            query = parse_query(query, name=name)
+        query = resolve_sources(query, None)
+        result_name = name or query.name or "result"
+        items: List[Union[ElementNode, str]] = []
+        for binding in self._bindings(query):
+            if all(self._holds(c, binding) for c in query.conditions):
+                for item in query.select_items:
+                    items.extend(self._select(item, binding))
+        return QueryResult(items, result_name)
+
+    def evaluate_on_document(
+        self,
+        query: Union[str, Query],
+        document: Document,
+        name: Optional[str] = None,
+    ) -> QueryResult:
+        """Evaluate with every root source bound to ``document`` instead of
+        the warehouse — used by the Reporter's report queries, which run over
+        the notification document."""
+        if isinstance(query, str):
+            query = parse_query(query, name=name)
+        query = resolve_sources(query, None)
+        result_name = name or query.name or "result"
+        items: List[Union[ElementNode, str]] = []
+        for binding in self._bindings(query, override_document=document):
+            if all(self._holds(c, binding) for c in query.conditions):
+                for item in query.select_items:
+                    items.extend(self._select(item, binding))
+        return QueryResult(items, result_name)
+
+    # -- binding generation ------------------------------------------------------
+
+    def _bindings(
+        self, query: Query, override_document: Optional[Document] = None
+    ) -> Iterator[Binding]:
+        def extend(
+            clause_index: int, binding: Binding
+        ) -> Iterator[Binding]:
+            if clause_index == len(query.from_clauses):
+                yield dict(binding)
+                return
+            clause = query.from_clauses[clause_index]
+            for node in self._clause_nodes(clause, binding, override_document):
+                binding[clause.variable] = node
+                yield from extend(clause_index + 1, binding)
+            binding.pop(clause.variable, None)
+
+        yield from extend(0, {})
+
+    def _clause_nodes(
+        self,
+        clause: FromClause,
+        binding: Binding,
+        override_document: Optional[Document],
+    ) -> Iterator[ElementNode]:
+        if clause.source_kind == SOURCE_VARIABLE:
+            context = binding.get(clause.source_name or "")
+            if context is None:
+                raise QueryError(
+                    f"unbound variable {clause.source_name!r} in from clause"
+                )
+            yield from self._apply_path(clause, context)
+            return
+        for root in self._source_roots(clause, override_document):
+            yield from self._apply_source_path(clause, root)
+
+    def _source_roots(
+        self, clause: FromClause, override_document: Optional[Document]
+    ) -> Iterator[ElementNode]:
+        if override_document is not None:
+            yield override_document.root
+            return
+        if clause.source_kind == SOURCE_DOCUMENT:
+            assert clause.source_name is not None
+            yield self.repository.document_for_url(clause.source_name).root
+            return
+        if clause.source_kind == SOURCE_ALL:
+            for doc_id in self.repository.xml_doc_ids():
+                yield self.repository.document(doc_id).root
+            return
+        if clause.source_kind == SOURCE_DOMAIN:
+            assert clause.source_name is not None
+            doc_ids = self.repository.indexes.documents_in_domain(
+                clause.source_name
+            )
+            if not doc_ids:
+                # An unknown domain yields nothing rather than erroring:
+                # continuous queries keep running while the warehouse grows.
+                return
+            for doc_id in sorted(doc_ids):
+                yield self.repository.document(doc_id).root
+            return
+        raise QueryError(f"unknown source kind {clause.source_kind!r}")
+
+    def _apply_path(
+        self, clause: FromClause, context: ElementNode
+    ) -> Iterator[ElementNode]:
+        if clause.path is None:
+            yield context
+            return
+        for match in clause.path.select(context):
+            if isinstance(match, ElementNode):
+                yield match
+            else:
+                raise QueryError(
+                    "from clauses must bind elements, not attributes"
+                )
+
+    def _apply_source_path(
+        self, clause: FromClause, root: ElementNode
+    ) -> Iterator[ElementNode]:
+        """Like :meth:`_apply_path` but for document/domain sources.
+
+        The first path step may match the document root itself: in
+        ``from culture/museum m`` the museum documents of the domain have
+        ``<museum>`` as their root element, so the step must accept the root
+        as well as root children.
+        """
+        path = clause.path
+        if path is None:
+            yield root
+            return
+        if path.attribute is not None:
+            raise QueryError(
+                "from clauses must bind elements, not attributes"
+            )
+        seen: set = set()
+        for match in path.select(root):
+            if isinstance(match, ElementNode) and id(match) not in seen:
+                seen.add(id(match))
+                yield match
+        if path.steps and path.steps[0].tag in (root.tag, "*"):
+            rest = PathExpression(
+                steps=path.steps[1:], attribute=path.attribute
+            )
+            if rest.steps or rest.attribute is not None:
+                for match in rest.select(root):
+                    if isinstance(match, ElementNode) and id(match) not in seen:
+                        seen.add(id(match))
+                        yield match
+            elif id(root) not in seen:
+                seen.add(id(root))
+                yield root
+
+    # -- conditions ---------------------------------------------------------------
+
+    def _holds(self, condition: Condition, binding: Binding) -> bool:
+        node = binding.get(condition.variable)
+        if node is None:
+            raise QueryError(f"unbound variable {condition.variable!r}")
+        targets: List[Union[ElementNode, str]]
+        if condition.path is None:
+            targets = [node]
+        else:
+            targets = list(condition.path.select(node))
+        for target in targets:
+            if self._target_satisfies(condition, target):
+                return True
+        return False
+
+    def _target_satisfies(
+        self, condition: Condition, target: Union[ElementNode, str]
+    ) -> bool:
+        if condition.op == OP_CONTAINS:
+            if isinstance(target, str):
+                return normalize_word(condition.literal) in unique_words(target)
+            return normalize_word(condition.literal) in _subtree_words(target)
+        if condition.op == OP_STRICT_CONTAINS:
+            if isinstance(target, str):
+                return normalize_word(condition.literal) in unique_words(target)
+            return normalize_word(condition.literal) in _direct_words(target)
+        value = target if isinstance(target, str) else target.text_content()
+        return _compare(value.strip(), condition.op, condition.literal)
+
+    # -- select ---------------------------------------------------------------
+
+    def _select(
+        self, item: SelectItem, binding: Binding
+    ) -> List[Union[ElementNode, str]]:
+        node = binding.get(item.variable)
+        if node is None:
+            raise QueryError(f"unbound variable {item.variable!r}")
+        if item.path is None:
+            return [node]
+        return list(item.path.select(node))
+
+
+def _compare(value: str, op: str, literal: str) -> bool:
+    left: Union[str, float] = value
+    right: Union[str, float] = literal
+    try:
+        left = float(value)
+        right = float(literal)
+    except ValueError:
+        pass
+    if op == OP_EQ:
+        return left == right
+    if op == OP_NE:
+        return left != right
+    if op == OP_LT:
+        return left < right  # type: ignore[operator]
+    if op == OP_LE:
+        return left <= right  # type: ignore[operator]
+    if op == OP_GT:
+        return left > right  # type: ignore[operator]
+    if op == OP_GE:
+        return left >= right  # type: ignore[operator]
+    raise QueryError(f"unknown operator {op!r}")
+
+
+def _subtree_words(element: ElementNode) -> set:
+    """Distinct words of every text node under ``element``.
+
+    Words are collected per text node (never across node boundaries), the
+    same definition the alerters and the warehouse index use.
+    """
+    words: set = set()
+    for node in element.preorder():
+        if isinstance(node, TextNode):
+            words |= unique_words(node.data)
+    return words
+
+
+def _direct_words(element: ElementNode) -> set:
+    """Distinct words of the element's direct text children."""
+    words: set = set()
+    for child in element.children:
+        if isinstance(child, TextNode):
+            words |= unique_words(child.data)
+    return words

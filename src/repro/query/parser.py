@@ -1,0 +1,340 @@
+"""Parser for the warehouse query language.
+
+Grammar (case-insensitive keywords)::
+
+    query      := "select" select_list
+                  "from" from_list
+                  [ "where" condition ("and" condition)* ]
+    select_list := select_item ("," select_item)*
+    select_item := IDENT [ "/" path ] [ "@" IDENT ]
+    from_list  := from_item ("," from_item)*
+    from_item  := source [ "/" path ] IDENT
+    source     := IDENT | "*" | "doc" "(" STRING ")"
+    condition  := IDENT [ "/" path ] op literal
+    op         := "contains" | "strict" "contains" | "=" | "!=" |
+                  "<" | "<=" | ">" | ">="
+    literal    := STRING | NUMBER
+
+The first ``from`` source not naming a bound variable is a domain / ``*`` /
+``doc(url)``; later items usually navigate from variables.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import QueryError
+from ..xmlstore.paths import PathExpression, parse_path
+from .ast import (
+    COMPARISON_OPS,
+    Condition,
+    FromClause,
+    OP_CONTAINS,
+    OP_STRICT_CONTAINS,
+    Query,
+    SelectItem,
+    SOURCE_ALL,
+    SOURCE_DOCUMENT,
+    SOURCE_DOMAIN,
+    SOURCE_VARIABLE,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>"[^"]*"|'[^']*')
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),@*])
+  | (?P<slash>//|/)
+  | (?P<word>[A-Za-z_][\w:.-]*|\d+(?:\.\d+)?)
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {text[position]!r} in query"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "space":
+            continue
+        tokens.append((kind or "", match.group()))
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def accept_word(self, *words: str) -> Optional[str]:
+        token = self.peek()
+        if token and token[0] == "word" and token[1].lower() in words:
+            self._index += 1
+            return token[1].lower()
+        return None
+
+    def accept_value(self, value: str) -> bool:
+        token = self.peek()
+        if token and token[1] == value:
+            self._index += 1
+            return True
+        return False
+
+    def expect_word(self, word: str) -> None:
+        if not self.accept_word(word):
+            found = self.peek()
+            raise QueryError(
+                f"expected {word!r}, found {found[1] if found else 'end'!r}"
+            )
+
+    def expect_value(self, value: str) -> None:
+        if not self.accept_value(value):
+            found = self.peek()
+            raise QueryError(
+                f"expected {value!r}, found {found[1] if found else 'end'!r}"
+            )
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+
+_KEYWORDS = {"select", "from", "where", "and", "contains", "strict", "doc"}
+
+
+def parse_query(text: str, name: Optional[str] = None) -> Query:
+    """Parse a query string into a :class:`~repro.query.ast.Query`."""
+    stream = _TokenStream(_tokenize(text))
+    stream.expect_word("select")
+    select_items = [_parse_select_item(stream)]
+    while stream.accept_value(","):
+        select_items.append(_parse_select_item(stream))
+    stream.expect_word("from")
+    from_clauses = [_parse_from_item(stream, first=True)]
+    while stream.accept_value(","):
+        from_clauses.append(_parse_from_item(stream, first=False))
+    conditions: List[Condition] = []
+    if stream.accept_word("where"):
+        conditions.append(_parse_condition(stream))
+        while stream.accept_word("and"):
+            conditions.append(_parse_condition(stream))
+    if not stream.at_end():
+        leftover = stream.peek()
+        raise QueryError(f"unexpected token {leftover[1]!r} after query")  # type: ignore[index]
+
+    bound = set()
+    for clause in from_clauses:
+        # A bare-word source naming no bound variable may be a domain; that
+        # ambiguity is resolved by ``resolve_sources`` at evaluation time.
+        bound.add(clause.variable)
+    for item in select_items:
+        if item.variable not in bound:
+            raise QueryError(f"select uses unbound variable {item.variable!r}")
+    for condition in conditions:
+        if condition.variable not in bound:
+            raise QueryError(
+                f"where uses unbound variable {condition.variable!r}"
+            )
+    return Query(
+        select_items=tuple(select_items),
+        from_clauses=tuple(from_clauses),
+        conditions=tuple(conditions),
+        name=name,
+    )
+
+
+def _parse_raw_path(stream: _TokenStream) -> Tuple[str, Optional[str]]:
+    """Consume ``word (("/"|"//") word)* [@word]``; returns (head, rest)."""
+    kind, head = stream.next()
+    if kind != "word":
+        raise QueryError(f"expected a name, found {head!r}")
+    parts: List[str] = []
+    while True:
+        token = stream.peek()
+        if token and token[0] == "slash":
+            stream.next()
+            nxt = stream.peek()
+            if nxt is None or nxt[0] not in ("word", "punct"):
+                raise QueryError("path ends with '/'")
+            if nxt[1] == "*":
+                stream.next()
+                parts.append(token[1] + "*")
+                continue
+            if nxt[0] != "word":
+                raise QueryError(f"bad path step {nxt[1]!r}")
+            stream.next()
+            parts.append(token[1] + nxt[1])
+            continue
+        if token and token[1] == "@":
+            stream.next()
+            attr_kind, attr = stream.next()
+            if attr_kind != "word":
+                raise QueryError(f"bad attribute name {attr!r}")
+            parts.append("@" + attr)
+        break
+    rest = "".join(parts) if parts else None
+    return head, rest
+
+
+def _compile_rest(rest: Optional[str]) -> Optional[PathExpression]:
+    if rest is None:
+        return None
+    if rest.startswith("@"):
+        # Attribute of the bound node itself, e.g. ``m@url``.
+        return PathExpression(steps=(), attribute=rest[1:], from_self=True)
+    return parse_path(rest.lstrip("/") if not rest.startswith("//") else rest)
+
+
+def _parse_select_item(stream: _TokenStream) -> SelectItem:
+    head, rest = _parse_raw_path(stream)
+    return SelectItem(variable=head, path=_compile_rest(rest))
+
+
+def _parse_from_item(stream: _TokenStream, first: bool) -> FromClause:
+    token = stream.peek()
+    if token is None:
+        raise QueryError("unexpected end of from clause")
+    if token[1] == "*":
+        stream.next()
+        head: Optional[str] = None
+        source_kind = SOURCE_ALL
+        rest: Optional[str] = None
+        nxt = stream.peek()
+        if nxt and nxt[0] == "slash":
+            # "*//painting p" style: reuse the raw-path reader via a fake head.
+            _, rest = _parse_raw_path_after_star(stream)
+        variable = _expect_variable(stream)
+        return FromClause(source_kind, head, _compile_rest(rest), variable)
+    if token[0] == "word" and token[1].lower() == "doc":
+        stream.next()
+        stream.expect_value("(")
+        kind, literal = stream.next()
+        if kind != "string":
+            raise QueryError("doc(...) expects a quoted URL")
+        stream.expect_value(")")
+        rest = None
+        nxt = stream.peek()
+        if nxt and nxt[0] == "slash":
+            _, rest = _parse_raw_path_after_star(stream)
+        variable = _expect_variable(stream)
+        return FromClause(
+            SOURCE_DOCUMENT, literal[1:-1], _compile_rest(rest), variable
+        )
+    head, rest = _parse_raw_path(stream)
+    variable = _expect_variable(stream)
+    # The head names either a previously bound variable or a domain; the
+    # parser cannot know which, so callers resolve it: parse_query marks it
+    # as a variable reference only when a prior clause bound it.
+    return FromClause(SOURCE_VARIABLE, head, _compile_rest(rest), variable)
+
+
+def _parse_raw_path_after_star(stream: _TokenStream) -> Tuple[None, str]:
+    """Path continuation right after ``*`` or ``doc(...)``."""
+    parts: List[str] = []
+    while True:
+        token = stream.peek()
+        if token and token[0] == "slash":
+            stream.next()
+            nxt = stream.next()
+            if nxt[0] != "word" and nxt[1] != "*":
+                raise QueryError(f"bad path step {nxt[1]!r}")
+            parts.append(token[1] + nxt[1])
+            continue
+        if token and token[1] == "@":
+            stream.next()
+            attr_kind, attr = stream.next()
+            if attr_kind != "word":
+                raise QueryError(f"bad attribute name {attr!r}")
+            parts.append("@" + attr)
+        break
+    if not parts:
+        raise QueryError("expected a path after the source")
+    return None, "".join(parts)
+
+
+def _expect_variable(stream: _TokenStream) -> str:
+    kind, value = stream.next()
+    if kind != "word" or value.lower() in _KEYWORDS:
+        raise QueryError(f"expected a variable name, found {value!r}")
+    return value
+
+
+def _parse_condition(stream: _TokenStream) -> Condition:
+    head, rest = _parse_raw_path(stream)
+    if stream.accept_word("strict"):
+        stream.expect_word("contains")
+        op = OP_STRICT_CONTAINS
+    elif stream.accept_word("contains"):
+        op = OP_CONTAINS
+    else:
+        kind, value = stream.next()
+        if kind != "op" or value not in COMPARISON_OPS:
+            raise QueryError(f"expected an operator, found {value!r}")
+        op = value
+    kind, literal = stream.next()
+    if kind == "string":
+        literal = literal[1:-1]
+    elif kind != "word" or not _is_number(literal):
+        raise QueryError(f"expected a literal, found {literal!r}")
+    return Condition(
+        variable=head, path=_compile_rest(rest), op=op, literal=literal
+    )
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def resolve_sources(query: Query, known_domains) -> Query:
+    """Rewrite first-position variable sources into domain sources.
+
+    ``parse_query`` marks every bare-word source as a variable reference;
+    this pass (used by the engine) turns the ones naming no bound variable
+    into domain lookups.  Kept separate so the parser has no engine
+    dependency.
+    """
+    bound = set()
+    rewritten: List[FromClause] = []
+    for clause in query.from_clauses:
+        if clause.source_kind == SOURCE_VARIABLE and clause.source_name not in bound:
+            rewritten.append(
+                FromClause(
+                    SOURCE_DOMAIN,
+                    clause.source_name,
+                    clause.path,
+                    clause.variable,
+                )
+            )
+        else:
+            rewritten.append(clause)
+        bound.add(clause.variable)
+    return Query(
+        select_items=query.select_items,
+        from_clauses=tuple(rewritten),
+        conditions=query.conditions,
+        name=query.name,
+    )

@@ -1,0 +1,20 @@
+"""Reporter subsystem: buffers, report conditions, delivery, archive."""
+
+from .archive import ArchivedReport, ReportArchive
+from .conditions import BufferState, condition_holds, has_periodic_term
+from .email_sink import Email, EmailSink, WebPublisher
+from .reporter import Reporter, ReporterStats, ReportRegistration
+
+__all__ = [
+    "ArchivedReport",
+    "ReportArchive",
+    "BufferState",
+    "condition_holds",
+    "has_periodic_term",
+    "Email",
+    "EmailSink",
+    "WebPublisher",
+    "Reporter",
+    "ReporterStats",
+    "ReportRegistration",
+]

@@ -1,0 +1,67 @@
+"""Report archiving (the ``archive`` clause, Section 5.3).
+
+"``archive monthly`` requests to archive the reports for this particular
+subscription for a month before garbage collecting them."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..clock import Clock
+from ..language.frequencies import period_seconds
+
+
+@dataclass(frozen=True)
+class ArchivedReport:
+    subscription_id: int
+    body: str
+    archived_at: float
+    expires_at: float
+
+
+class ReportArchive:
+    def __init__(self, clock: Clock):
+        self.clock = clock
+        self._by_subscription: Dict[int, List[ArchivedReport]] = {}
+        self.total_archived = 0
+        self.total_collected = 0
+
+    def archive(
+        self, subscription_id: int, body: str, retention_frequency: str
+    ) -> ArchivedReport:
+        now = self.clock.now()
+        report = ArchivedReport(
+            subscription_id=subscription_id,
+            body=body,
+            archived_at=now,
+            expires_at=now + period_seconds(retention_frequency),
+        )
+        self._by_subscription.setdefault(subscription_id, []).append(report)
+        self.total_archived += 1
+        return report
+
+    def reports_for(self, subscription_id: int) -> List[ArchivedReport]:
+        return list(self._by_subscription.get(subscription_id, ()))
+
+    def garbage_collect(self) -> int:
+        """Drop expired reports; returns how many were collected."""
+        now = self.clock.now()
+        collected = 0
+        for subscription_id in list(self._by_subscription):
+            kept = [
+                report
+                for report in self._by_subscription[subscription_id]
+                if report.expires_at > now
+            ]
+            collected += len(self._by_subscription[subscription_id]) - len(kept)
+            if kept:
+                self._by_subscription[subscription_id] = kept
+            else:
+                del self._by_subscription[subscription_id]
+        self.total_collected += collected
+        return collected
+
+    def drop_subscription(self, subscription_id: int) -> None:
+        self._by_subscription.pop(subscription_id, None)

@@ -1,0 +1,85 @@
+"""Report-condition evaluation (the ``when`` clause, Section 5.3).
+
+A report condition is a disjunction of terms; "a report is generated
+whenever one of the reporting conditions holds":
+
+* ``immediate`` — as soon as anything is added;
+* a frequency — one period elapsed since the last report;
+* ``count >= n`` / ``count(QueryName) >= n`` — gathered notifications.
+
+The evaluation is separated from the Reporter so it is testable alone and
+reusable (the Trigger Engine shares the periodic logic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..language.ast import (
+    CountCondition,
+    ImmediateCondition,
+    PeriodicCondition,
+    ReportCondition,
+)
+from ..language.frequencies import period_seconds
+
+
+class BufferState:
+    """What a report condition may look at: counts and timing."""
+
+    def __init__(self, now: float):
+        self.total_count = 0
+        self.counts_by_query: Dict[str, int] = {}
+        self.last_report_at = now
+        self.last_arrival_at: Optional[float] = None
+
+    def record_arrivals(self, query_name: Optional[str], count: int, now: float) -> None:
+        self.total_count += count
+        if query_name is not None:
+            self.counts_by_query[query_name] = (
+                self.counts_by_query.get(query_name, 0) + count
+            )
+        self.last_arrival_at = now
+
+    def reset_after_report(self, now: float) -> None:
+        """"The generation of a report ... empties the global buffer"."""
+        self.total_count = 0
+        self.counts_by_query.clear()
+        self.last_report_at = now
+        self.last_arrival_at = None
+
+
+def condition_holds(
+    condition: ReportCondition, state: BufferState, now: float
+) -> bool:
+    return any(_term_holds(term, state, now) for term in condition.terms)
+
+
+def _term_holds(term: object, state: BufferState, now: float) -> bool:
+    if isinstance(term, ImmediateCondition):
+        return state.total_count > 0
+    if isinstance(term, PeriodicCondition):
+        return now - state.last_report_at >= period_seconds(term.frequency)
+    if isinstance(term, CountCondition):
+        if term.query_name is None:
+            return state.total_count >= term.threshold
+        return (
+            state.counts_by_query.get(term.query_name, 0) >= term.threshold
+        )
+    raise TypeError(f"unknown report-condition term {term!r}")
+
+
+def has_periodic_term(condition: ReportCondition) -> bool:
+    """Whether the Reporter must re-check this condition on timer ticks."""
+    return any(
+        isinstance(term, PeriodicCondition) for term in condition.terms
+    )
+
+
+def shortest_period(condition: ReportCondition) -> Optional[float]:
+    periods = [
+        period_seconds(term.frequency)
+        for term in condition.terms
+        if isinstance(term, PeriodicCondition)
+    ]
+    return min(periods) if periods else None

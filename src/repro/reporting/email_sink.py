@@ -1,0 +1,118 @@
+"""Delivery sinks for reports.
+
+The paper's Reporter emails reports ("Reports are for the moment sent by
+email"; the implementation supported "hundreds of thousands of emails per
+day on a single PC", limited by the UNIX sendmail daemon) and the authors
+"are considering the support of an access to reports via web publication".
+Both are provided:
+
+* :class:`EmailSink` — a simulated mail spool with per-day accounting and a
+  configurable daily capacity modelling the sendmail bottleneck.
+* :class:`WebPublisher` — report retrieval by id, the web-publication
+  extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..clock import Clock, SECONDS_PER_DAY, SimulatedClock
+
+
+@dataclass(frozen=True)
+class Email:
+    recipient: str
+    subject: str
+    body: str
+    sent_at: float
+
+
+class EmailSink:
+    """Simulated sendmail: spools messages, counts per-day throughput.
+
+    ``daily_capacity`` models the sendmail limitation; deliveries beyond it
+    in one (simulated) day are deferred to the backlog and drained first on
+    following days.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        daily_capacity: int = 300_000,
+        keep_messages: int = 1000,
+    ):
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.daily_capacity = daily_capacity
+        self.keep_messages = keep_messages
+        self.sent: List[Email] = []
+        self.backlog: List[Email] = []
+        self.total_sent = 0
+        self.total_deferred = 0
+        self._day_counts: Dict[int, int] = {}
+
+    def _day_of(self, timestamp: float) -> int:
+        return int(timestamp // SECONDS_PER_DAY)
+
+    def send(self, recipient: str, subject: str, body: str) -> bool:
+        """Deliver (or defer) one email; returns True when sent now."""
+        now = self.clock.now()
+        email = Email(recipient, subject, body, now)
+        day = self._day_of(now)
+        if self._day_counts.get(day, 0) >= self.daily_capacity:
+            self.backlog.append(email)
+            self.total_deferred += 1
+            return False
+        self._record(email, day)
+        return True
+
+    def drain_backlog(self) -> int:
+        """Send backlog messages within today's remaining capacity."""
+        now = self.clock.now()
+        day = self._day_of(now)
+        drained = 0
+        while self.backlog and self._day_counts.get(day, 0) < self.daily_capacity:
+            email = self.backlog.pop(0)
+            self._record(
+                Email(email.recipient, email.subject, email.body, now), day
+            )
+            drained += 1
+        return drained
+
+    def _record(self, email: Email, day: int) -> None:
+        self._day_counts[day] = self._day_counts.get(day, 0) + 1
+        self.total_sent += 1
+        self.sent.append(email)
+        if len(self.sent) > self.keep_messages:
+            del self.sent[: len(self.sent) - self.keep_messages]
+
+    def sent_on_day(self, day: int) -> int:
+        return self._day_counts.get(day, 0)
+
+
+class WebPublisher:
+    """Stores reports retrievable by (subscription id, report number)."""
+
+    def __init__(self, keep_per_subscription: int = 100):
+        self.keep_per_subscription = keep_per_subscription
+        self._reports: Dict[int, List[str]] = {}
+
+    def publish(self, subscription_id: int, body: str) -> int:
+        """Store a report; returns its report number (0-based)."""
+        reports = self._reports.setdefault(subscription_id, [])
+        reports.append(body)
+        if len(reports) > self.keep_per_subscription:
+            del reports[0]
+        return len(reports) - 1
+
+    def fetch(self, subscription_id: int, number: int = -1) -> Optional[str]:
+        reports = self._reports.get(subscription_id)
+        if not reports:
+            return None
+        try:
+            return reports[number]
+        except IndexError:
+            return None
+
+    def count(self, subscription_id: int) -> int:
+        return len(self._reports.get(subscription_id, ()))

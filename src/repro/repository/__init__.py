@@ -1,0 +1,27 @@
+"""Warehouse: versioned document store, indexes, semantic classification.
+
+Substitutes the Natix repository + index manager + semantic module of
+Figure 1 with in-memory Python equivalents that expose what the monitoring
+subsystem actually reads.
+"""
+
+from .clustering import ClusteredRepository
+from .index import WarehouseIndexes
+from .persistence import load_repository, save_repository
+from .metadata import HTML, XML, DocumentMeta, filename_of
+from .semantics import SemanticClassifier
+from .store import FetchOutcome, Repository
+
+__all__ = [
+    "ClusteredRepository",
+    "WarehouseIndexes",
+    "load_repository",
+    "save_repository",
+    "HTML",
+    "XML",
+    "DocumentMeta",
+    "filename_of",
+    "SemanticClassifier",
+    "FetchOutcome",
+    "Repository",
+]

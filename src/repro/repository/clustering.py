@@ -1,0 +1,168 @@
+"""Domain-clustered repository distribution (Section 2.1).
+
+"All modules and in particular the XML loaders and the indexers are
+distributed between several machines.  The repository itself is
+distributed.  Data distribution is based on an automatic semantic
+classification of all DTDs.  The system tries to cluster as many documents
+as possible from the same domain on a single machine."
+
+:class:`ClusteredRepository` shards documents across N
+:class:`~repro.repository.store.Repository` instances: every document of a
+domain goes to the domain's home shard (chosen when the domain is first
+seen, preferring the least-loaded shard); unclassified documents are
+spread by URL hash.  The read API mirrors a single repository, and domain
+queries resolve against one shard — the locality the clustering buys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..clock import Clock, SimulatedClock
+from ..errors import DocumentNotFound, RepositoryError
+from ..xmlstore.nodes import Document
+from .metadata import DocumentMeta
+from .semantics import SemanticClassifier
+from .store import FetchOutcome, Repository
+
+
+def _stable_hash(text: str) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class ClusteredRepository:
+    """N repository shards with domain-affine placement.
+
+    Document ids are globalized as ``shard_index * stride + local_id`` so
+    they stay unique across shards.
+    """
+
+    _ID_STRIDE = 10_000_000
+
+    def __init__(
+        self,
+        shard_count: int,
+        classifier: Optional[SemanticClassifier] = None,
+        clock: Optional[Clock] = None,
+        keep_versions: int = 8,
+    ):
+        if shard_count < 1:
+            raise RepositoryError("shard_count must be at least 1")
+        self.classifier = (
+            classifier if classifier is not None else SemanticClassifier()
+        )
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.shards: List[Repository] = [
+            Repository(
+                classifier=self.classifier,
+                clock=self.clock,
+                keep_versions=keep_versions,
+            )
+            for _ in range(shard_count)
+        ]
+        self._domain_home: Dict[str, int] = {}
+        self._shard_of_url: Dict[str, int] = {}
+
+    # -- placement -----------------------------------------------------------
+
+    def shard_for_domain(self, domain: str) -> int:
+        """The domain's home shard (assigned least-loaded-first)."""
+        home = self._domain_home.get(domain)
+        if home is None:
+            loads = [len(shard) for shard in self.shards]
+            home = loads.index(min(loads))
+            self._domain_home[domain] = home
+        return home
+
+    def _place(self, url: str, document: Optional[Document]) -> int:
+        existing = self._shard_of_url.get(url)
+        if existing is not None:
+            return existing
+        domain = (
+            self.classifier.classify(document)
+            if document is not None
+            else None
+        )
+        if domain is not None:
+            shard = self.shard_for_domain(domain)
+        else:
+            shard = _stable_hash(url) % len(self.shards)
+        self._shard_of_url[url] = shard
+        return shard
+
+    # -- writing -------------------------------------------------------------------
+
+    def store_xml(
+        self, url: str, content: Union[str, Document]
+    ) -> FetchOutcome:
+        from ..xmlstore.parser import parse
+
+        document = parse(content) if isinstance(content, str) else content
+        shard_index = self._place(url, document)
+        outcome = self.shards[shard_index].store_xml(url, document)
+        return outcome
+
+    def store_html(self, url: str, content: str) -> FetchOutcome:
+        shard_index = self._place(url, None)
+        return self.shards[shard_index].store_html(url, content)
+
+    def remove(self, url: str) -> None:
+        shard_index = self._shard_of_url.pop(url, None)
+        if shard_index is None:
+            raise DocumentNotFound(url)
+        self.shards[shard_index].remove(url)
+
+    # -- reading --------------------------------------------------------------------
+
+    def _shard_for_url(self, url: str) -> Repository:
+        shard_index = self._shard_of_url.get(url)
+        if shard_index is None:
+            raise DocumentNotFound(url)
+        return self.shards[shard_index]
+
+    def has_url(self, url: str) -> bool:
+        return url in self._shard_of_url
+
+    def meta_for_url(self, url: str) -> DocumentMeta:
+        return self._shard_for_url(url).meta_for_url(url)
+
+    def document_for_url(self, url: str) -> Document:
+        return self._shard_for_url(url).document_for_url(url)
+
+    def documents_in_domain(self, domain: str) -> List[Document]:
+        """All current documents of a domain — served by ONE shard."""
+        home = self._domain_home.get(domain)
+        if home is None:
+            return []
+        shard = self.shards[home]
+        return [
+            shard.document(doc_id)
+            for doc_id in sorted(shard.indexes.documents_in_domain(domain))
+        ]
+
+    def domain_locality(self) -> float:
+        """Fraction of classified documents living on their domain's home
+        shard (1.0 = perfect clustering)."""
+        total = 0
+        home_hits = 0
+        for shard_index, shard in enumerate(self.shards):
+            for meta in shard.all_meta():
+                if meta.domain is None:
+                    continue
+                total += 1
+                if self._domain_home.get(meta.domain) == shard_index:
+                    home_hits += 1
+        return home_hits / total if total else 1.0
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard) for shard in self.shards]
+
+    def all_meta(self) -> Iterable[DocumentMeta]:
+        for shard in self.shards:
+            yield from shard.all_meta()

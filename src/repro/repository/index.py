@@ -1,0 +1,108 @@
+"""Inverted indexes over the warehouse.
+
+The "Repository and Index Manager" layer of Figure 1.  The query processor
+(``repro.query``) narrows scans with these; the continuous-query engine uses
+the domain index to evaluate queries "from culture/museum" over the
+``culture`` domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..xmlstore.nodes import Document, ElementNode, TextNode
+from ..xmlstore.words import unique_words
+
+
+class WarehouseIndexes:
+    """Word, tag, DTD and domain indexes mapping to document ids."""
+
+    def __init__(self):
+        self._by_word: Dict[str, Set[int]] = {}
+        self._by_tag: Dict[str, Set[int]] = {}
+        self._by_dtd: Dict[str, Set[int]] = {}
+        self._by_domain: Dict[str, Set[int]] = {}
+        #: Reverse maps for cheap unindexing on update/delete.
+        self._doc_words: Dict[int, Set[str]] = {}
+        self._doc_tags: Dict[int, Set[str]] = {}
+        self._doc_dtd: Dict[int, Optional[str]] = {}
+        self._doc_domain: Dict[int, Optional[str]] = {}
+
+    # -- maintenance ----------------------------------------------------------
+
+    def index_document(
+        self,
+        doc_id: int,
+        document: Document,
+        domain: Optional[str] = None,
+    ) -> None:
+        """(Re)index one document; replaces any previous postings."""
+        self.unindex_document(doc_id)
+        words: Set[str] = set()
+        tags: Set[str] = set()
+        for node in document.preorder():
+            if isinstance(node, ElementNode):
+                tags.add(node.tag)
+            elif isinstance(node, TextNode):
+                words |= unique_words(node.data)
+        for word in words:
+            self._by_word.setdefault(word, set()).add(doc_id)
+        for tag in tags:
+            self._by_tag.setdefault(tag, set()).add(doc_id)
+        if document.dtd_url is not None:
+            self._by_dtd.setdefault(document.dtd_url, set()).add(doc_id)
+        if domain is not None:
+            self._by_domain.setdefault(domain, set()).add(doc_id)
+        self._doc_words[doc_id] = words
+        self._doc_tags[doc_id] = tags
+        self._doc_dtd[doc_id] = document.dtd_url
+        self._doc_domain[doc_id] = domain
+
+    def unindex_document(self, doc_id: int) -> None:
+        for word in self._doc_words.pop(doc_id, ()):
+            postings = self._by_word.get(word)
+            if postings is not None:
+                postings.discard(doc_id)
+                if not postings:
+                    del self._by_word[word]
+        for tag in self._doc_tags.pop(doc_id, ()):
+            postings = self._by_tag.get(tag)
+            if postings is not None:
+                postings.discard(doc_id)
+                if not postings:
+                    del self._by_tag[tag]
+        dtd_url = self._doc_dtd.pop(doc_id, None)
+        if dtd_url is not None:
+            postings = self._by_dtd.get(dtd_url)
+            if postings is not None:
+                postings.discard(doc_id)
+                if not postings:
+                    del self._by_dtd[dtd_url]
+        domain = self._doc_domain.pop(doc_id, None)
+        if domain is not None:
+            postings = self._by_domain.get(domain)
+            if postings is not None:
+                postings.discard(doc_id)
+                if not postings:
+                    del self._by_domain[domain]
+
+    # -- lookups ---------------------------------------------------------------
+
+    def documents_with_word(self, word: str) -> Set[int]:
+        return set(self._by_word.get(word, ()))
+
+    def documents_with_tag(self, tag: str) -> Set[int]:
+        return set(self._by_tag.get(tag, ()))
+
+    def documents_with_dtd(self, dtd_url: str) -> Set[int]:
+        return set(self._by_dtd.get(dtd_url, ()))
+
+    def documents_in_domain(self, domain: str) -> Set[int]:
+        return set(self._by_domain.get(domain, ()))
+
+    def word_frequency(self, word: str) -> int:
+        """Document frequency — the cost controller's commonness measure."""
+        return len(self._by_word.get(word, ()))
+
+    def vocabulary_size(self) -> int:
+        return len(self._by_word)

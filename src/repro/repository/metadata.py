@@ -1,0 +1,52 @@
+"""Per-document metadata kept by the warehouse.
+
+The URL Alerter's atomic conditions (Section 5.1) read exactly these fields:
+URL, filename (the tail of the URL), DOCID, DTDID, DTD url, semantic domain,
+LastAccessed, LastUpdate, plus the page signature used to decide
+changed/unchanged for non-warehoused (HTML) pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+XML = "xml"
+HTML = "html"
+
+
+def filename_of(url: str) -> str:
+    """The tail of a URL (e.g. ``index.html``), per Section 5.1."""
+    path = url.split("?", 1)[0].split("#", 1)[0]
+    return path.rstrip("/").rsplit("/", 1)[-1]
+
+
+@dataclass
+class DocumentMeta:
+    """Metadata row for one warehoused (or signature-tracked) document."""
+
+    doc_id: int
+    url: str
+    kind: str = XML  # XML or HTML
+    dtd_url: Optional[str] = None
+    dtd_id: Optional[int] = None
+    domain: Optional[str] = None
+    #: Wall-clock (simulated) seconds of the last fetch of this page.
+    last_accessed: float = 0.0
+    #: Last fetch at which the content was found changed.
+    last_updated: float = 0.0
+    #: Whole-page signature (HTML pages keep only this).
+    signature: int = 0
+    #: Version counter, 1 for the first stored version.
+    version: int = 0
+    #: Importance score; subscriptions that mention a page explicitly add
+    #: importance so the refresh module reads it more often (Section 2.2).
+    importance: float = 1.0
+    filename: str = field(default="", init=False)
+
+    def __post_init__(self):
+        self.filename = filename_of(self.url)
+
+    @property
+    def is_xml(self) -> bool:
+        return self.kind == XML

@@ -1,0 +1,78 @@
+"""Semantic domain classification.
+
+Xyleme's semantic module "classif[ies] all the XML resources into semantic
+domains and provide[s] an integrated view of each domain based on a single
+abstract DTD for this domain" (Section 2.1), and data distribution clusters
+documents of one domain together.  The subscription language exposes the
+result through the ``domain = string`` condition.
+
+We classify by (in priority order):
+
+1. an explicit DTD -> domain assignment in the :class:`DTDRegistry`;
+2. keyword rules over the document's tag set (an "abstract DTD" reduced to
+   its characteristic element names);
+3. ``None`` (unclassified).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..xmlstore.dtd import DTDRegistry
+from ..xmlstore.nodes import Document, ElementNode
+
+
+class DomainRule:
+    """A domain is suggested by a characteristic set of element tags."""
+
+    def __init__(self, domain: str, tags: Iterable[str], threshold: int = 1):
+        self.domain = domain
+        self.tags: FrozenSet[str] = frozenset(tags)
+        #: How many characteristic tags must appear in a document.
+        self.threshold = max(1, threshold)
+
+    def score(self, document_tags: FrozenSet[str]) -> int:
+        return len(self.tags & document_tags)
+
+
+class SemanticClassifier:
+    """DTD assignments first, then abstract-DTD tag rules."""
+
+    def __init__(self, dtd_registry: Optional[DTDRegistry] = None):
+        self.dtd_registry = dtd_registry if dtd_registry is not None else DTDRegistry()
+        self._rules: Dict[str, DomainRule] = {}
+
+    def add_rule(
+        self, domain: str, tags: Iterable[str], threshold: int = 1
+    ) -> None:
+        """Declare the characteristic tags of a domain's abstract DTD."""
+        self._rules[domain] = DomainRule(domain, tags, threshold)
+
+    def assign_dtd(self, dtd_url: str, domain: str) -> None:
+        """Pin a DTD to a domain (overrides tag rules for its documents)."""
+        self.dtd_registry.register(dtd_url, domain=domain)
+
+    def classify(self, document: Document) -> Optional[str]:
+        """Domain of ``document`` or None when unclassified."""
+        if document.dtd_url is not None:
+            assigned = self.dtd_registry.domain_for(document.dtd_url)
+            if assigned is not None:
+                return assigned
+        if not self._rules:
+            return None
+        tags = frozenset(
+            node.tag
+            for node in document.preorder()
+            if isinstance(node, ElementNode)
+        )
+        best_domain: Optional[str] = None
+        best_score = 0
+        for rule in self._rules.values():
+            score = rule.score(tags)
+            if score >= rule.threshold and score > best_score:
+                best_domain = rule.domain
+                best_score = score
+        return best_domain
+
+    def domains(self) -> Iterable[str]:
+        return sorted(self._rules)

@@ -1,0 +1,330 @@
+"""The XML warehouse — the reproduction's Natix substitute.
+
+Stores the *current* version of each XML document plus a bounded chain of
+inverted deltas, so any retained older version can be reconstructed
+("the new version of a document can be constructed based on an old version
+and the delta" — we store it the other way around, newest-full, which is
+what a monitoring system reads most).  HTML pages are not warehoused: only
+their signature is kept, enough to answer changed/unchanged (Section 1).
+
+``store_xml`` returns a :class:`FetchOutcome` carrying everything the
+alerter chain needs: status (new/updated/unchanged), the delta, and both
+versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..clock import Clock, SimulatedClock
+from ..diff import (
+    DOC_NEW,
+    DOC_UNCHANGED,
+    DOC_UPDATED,
+    Delta,
+    XidSpace,
+    apply_delta,
+    compute_delta,
+    copy_document,
+    document_signature,
+    page_signature,
+)
+from ..errors import DiffError, DocumentNotFound, RepositoryError
+from ..xmlstore.nodes import Document
+from ..xmlstore.parser import parse
+from .index import WarehouseIndexes
+from .metadata import HTML, XML, DocumentMeta
+from .semantics import SemanticClassifier
+
+
+@dataclass
+class FetchOutcome:
+    """Everything known after one document passed through the loader."""
+
+    meta: DocumentMeta
+    status: str  # DOC_NEW / DOC_UPDATED / DOC_UNCHANGED
+    document: Optional[Document] = None      # new current version (XML only)
+    old_document: Optional[Document] = None  # previous version (XML, updated)
+    delta: Optional[Delta] = None            # old -> new (XML, updated)
+
+    @property
+    def is_new(self) -> bool:
+        return self.status == DOC_NEW
+
+    @property
+    def changed(self) -> bool:
+        return self.status in (DOC_NEW, DOC_UPDATED)
+
+
+@dataclass
+class _StoredDocument:
+    meta: DocumentMeta
+    current: Optional[Document]  # None for HTML
+    xid_space: Optional[XidSpace]
+    #: (version number of the *older* version, delta new->old) pairs, newest
+    #: first; applying them successively to ``current`` walks back in time.
+    history: List[Tuple[int, Delta]] = field(default_factory=list)
+
+
+class Repository:
+    """In-memory versioned warehouse with indexes and classification."""
+
+    def __init__(
+        self,
+        classifier: Optional[SemanticClassifier] = None,
+        clock: Optional[Clock] = None,
+        keep_versions: int = 8,
+    ):
+        self.classifier = (
+            classifier if classifier is not None else SemanticClassifier()
+        )
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.indexes = WarehouseIndexes()
+        self.keep_versions = max(1, keep_versions)
+        self._by_url: Dict[str, int] = {}
+        self._docs: Dict[int, _StoredDocument] = {}
+        self._next_doc_id = 1
+
+    # -- storing -----------------------------------------------------------
+
+    def store_xml(
+        self, url: str, content: Union[str, Document]
+    ) -> FetchOutcome:
+        """Load one fetched XML page; returns the change outcome."""
+        document = parse(content) if isinstance(content, str) else content
+        now = self.clock.now()
+        doc_id = self._by_url.get(url)
+        if doc_id is None:
+            return self._store_new_xml(url, document, now)
+        stored = self._docs[doc_id]
+        if stored.meta.kind != XML:
+            raise RepositoryError(
+                f"{url} was previously stored as {stored.meta.kind}"
+            )
+        assert stored.current is not None and stored.xid_space is not None
+        stored.meta.last_accessed = now
+        new_signature = document_signature(document)
+        if new_signature == stored.meta.signature:
+            return FetchOutcome(
+                meta=stored.meta,
+                status=DOC_UNCHANGED,
+                document=stored.current,
+            )
+        try:
+            delta = compute_delta(stored.current, document, stored.xid_space)
+        except DiffError:
+            # Root element changed: restart the lineage (same doc id).
+            return self._restart_lineage(stored, document, now, new_signature)
+        if not delta:
+            # Content hash differs only through aspects the diff ignores
+            # (e.g. DOCTYPE changes); treat as unchanged at element level.
+            stored.meta.signature = new_signature
+            return FetchOutcome(
+                meta=stored.meta,
+                status=DOC_UNCHANGED,
+                document=stored.current,
+            )
+        old_document = stored.current
+        stored.history.insert(0, (stored.meta.version, delta.inverted()))
+        del stored.history[self.keep_versions - 1 :]
+        stored.current = document
+        stored.meta.version += 1
+        stored.meta.last_updated = now
+        stored.meta.signature = new_signature
+        self._reindex(stored)
+        return FetchOutcome(
+            meta=stored.meta,
+            status=DOC_UPDATED,
+            document=document,
+            old_document=old_document,
+            delta=delta,
+        )
+
+    def _store_new_xml(
+        self, url: str, document: Document, now: float
+    ) -> FetchOutcome:
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        xid_space = XidSpace()
+        xid_space.assign_fresh(document.root)
+        meta = DocumentMeta(
+            doc_id=doc_id,
+            url=url,
+            kind=XML,
+            dtd_url=document.dtd_url,
+            last_accessed=now,
+            last_updated=now,
+            signature=document_signature(document),
+            version=1,
+        )
+        if document.dtd_url is not None:
+            meta.dtd_id = self.classifier.dtd_registry.register(
+                document.dtd_url
+            )
+        meta.domain = self.classifier.classify(document)
+        stored = _StoredDocument(
+            meta=meta, current=document, xid_space=xid_space
+        )
+        self._by_url[url] = doc_id
+        self._docs[doc_id] = stored
+        self._reindex(stored)
+        return FetchOutcome(meta=meta, status=DOC_NEW, document=document)
+
+    def _restart_lineage(
+        self,
+        stored: _StoredDocument,
+        document: Document,
+        now: float,
+        signature: int,
+    ) -> FetchOutcome:
+        old_document = stored.current
+        xid_space = XidSpace()
+        xid_space.assign_fresh(document.root)
+        stored.current = document
+        stored.xid_space = xid_space
+        stored.history.clear()
+        stored.meta.version += 1
+        stored.meta.last_updated = now
+        stored.meta.signature = signature
+        stored.meta.dtd_url = document.dtd_url
+        if document.dtd_url is not None:
+            stored.meta.dtd_id = self.classifier.dtd_registry.register(
+                document.dtd_url
+            )
+        stored.meta.domain = self.classifier.classify(document)
+        self._reindex(stored)
+        # No delta is available across a lineage restart; report the update
+        # with both versions so document-level monitoring still fires.
+        return FetchOutcome(
+            meta=stored.meta,
+            status=DOC_UPDATED,
+            document=document,
+            old_document=old_document,
+            delta=None,
+        )
+
+    def store_html(self, url: str, content: str) -> FetchOutcome:
+        """Track a non-warehoused HTML page: signature only."""
+        now = self.clock.now()
+        signature = page_signature(content)
+        doc_id = self._by_url.get(url)
+        if doc_id is None:
+            new_id = self._next_doc_id
+            self._next_doc_id += 1
+            meta = DocumentMeta(
+                doc_id=new_id,
+                url=url,
+                kind=HTML,
+                last_accessed=now,
+                last_updated=now,
+                signature=signature,
+                version=1,
+            )
+            self._by_url[url] = new_id
+            self._docs[new_id] = _StoredDocument(
+                meta=meta, current=None, xid_space=None
+            )
+            return FetchOutcome(meta=meta, status=DOC_NEW)
+        stored = self._docs[doc_id]
+        stored.meta.last_accessed = now
+        if stored.meta.signature == signature:
+            return FetchOutcome(meta=stored.meta, status=DOC_UNCHANGED)
+        stored.meta.signature = signature
+        stored.meta.version += 1
+        stored.meta.last_updated = now
+        return FetchOutcome(meta=stored.meta, status=DOC_UPDATED)
+
+    def _reindex(self, stored: _StoredDocument) -> None:
+        assert stored.current is not None
+        self.indexes.index_document(
+            stored.meta.doc_id, stored.current, domain=stored.meta.domain
+        )
+
+    # -- reading ------------------------------------------------------------
+
+    def meta_for_url(self, url: str) -> DocumentMeta:
+        doc_id = self._by_url.get(url)
+        if doc_id is None:
+            raise DocumentNotFound(url)
+        return self._docs[doc_id].meta
+
+    def meta(self, doc_id: int) -> DocumentMeta:
+        stored = self._docs.get(doc_id)
+        if stored is None:
+            raise DocumentNotFound(f"doc_id {doc_id}")
+        return stored.meta
+
+    def has_url(self, url: str) -> bool:
+        return url in self._by_url
+
+    def document(self, doc_id: int) -> Document:
+        """Current version of an XML document (a defensive copy)."""
+        stored = self._docs.get(doc_id)
+        if stored is None:
+            raise DocumentNotFound(f"doc_id {doc_id}")
+        if stored.current is None:
+            raise RepositoryError(
+                f"{stored.meta.url} is an HTML page and is not warehoused"
+            )
+        return copy_document(stored.current)
+
+    def document_for_url(self, url: str) -> Document:
+        doc_id = self._by_url.get(url)
+        if doc_id is None:
+            raise DocumentNotFound(url)
+        return self.document(doc_id)
+
+    def version(self, doc_id: int, version: int) -> Document:
+        """Reconstruct a retained older version by replaying inverted deltas."""
+        stored = self._docs.get(doc_id)
+        if stored is None:
+            raise DocumentNotFound(f"doc_id {doc_id}")
+        if stored.current is None:
+            raise RepositoryError("HTML pages keep no versions")
+        if version == stored.meta.version:
+            return copy_document(stored.current)
+        current = stored.current
+        for older_version, inverted in stored.history:
+            current = apply_delta(current, inverted)
+            if older_version == version:
+                return current
+        raise RepositoryError(
+            f"version {version} of doc {doc_id} is no longer retained"
+        )
+
+    def retained_versions(self, doc_id: int) -> List[int]:
+        stored = self._docs.get(doc_id)
+        if stored is None:
+            raise DocumentNotFound(f"doc_id {doc_id}")
+        versions = [stored.meta.version]
+        versions.extend(older for older, _ in stored.history)
+        return versions
+
+    def remove(self, url: str) -> None:
+        doc_id = self._by_url.pop(url, None)
+        if doc_id is None:
+            raise DocumentNotFound(url)
+        self.indexes.unindex_document(doc_id)
+        del self._docs[doc_id]
+
+    # -- enumeration -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def all_meta(self) -> Iterable[DocumentMeta]:
+        return [stored.meta for stored in self._docs.values()]
+
+    def xml_doc_ids(self) -> List[int]:
+        return [
+            doc_id
+            for doc_id, stored in self._docs.items()
+            if stored.current is not None
+        ]
+
+    def add_importance(self, url: str, amount: float) -> None:
+        """Subscriptions mentioning a page add importance (Section 2.2)."""
+        doc_id = self._by_url.get(url)
+        if doc_id is not None:
+            self._docs[doc_id].meta.importance += amount

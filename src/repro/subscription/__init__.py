@@ -1,0 +1,14 @@
+"""Subscription Manager: lifecycle, compilation, routing, persistence."""
+
+from .compiler import CompiledSubscription, SubscriptionCompiler
+from .cost import CostController
+from .manager import SubscriptionManager
+from .rendering import NotificationBinding
+
+__all__ = [
+    "CompiledSubscription",
+    "SubscriptionCompiler",
+    "CostController",
+    "SubscriptionManager",
+    "NotificationBinding",
+]

@@ -1,0 +1,118 @@
+"""Subscription cost control (Section 5.4).
+
+"The cost of some monitoring or continuous queries may be quite
+prohibitive.  This is the reason why we only allow the condition extend
+URL, and not the matching of an arbitrary pattern.  Similarly, one would
+like to prevent the use of contains conditions on too common a word such
+as 'the' ... we do not want to trigger a continuous query with too
+frequent an event."
+
+The controller applies these a-priori checks; users with the ``privileged``
+flag bypass them ("restrict the right of specifying expensive subscriptions
+to users with appropriate privileges").  A-posteriori inhibition is the
+Subscription Manager's ``inhibit``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..errors import ResourceLimitError
+from ..language.ast import (
+    AtomicCondition,
+    ELEMENT,
+    SELF_CONTAINS,
+    Subscription,
+    URL_EXTENDS,
+)
+from ..language.frequencies import period_seconds
+from ..repository.index import WarehouseIndexes
+from ..xmlstore.words import DEFAULT_STOP_WORDS, normalize_word
+
+
+class CostController:
+    def __init__(
+        self,
+        stop_words: FrozenSet[str] = DEFAULT_STOP_WORDS,
+        min_prefix_length: int = 8,
+        min_trigger_period: str = "hourly",
+        max_word_document_fraction: float = 0.5,
+        indexes: Optional[WarehouseIndexes] = None,
+        total_documents: int = 0,
+    ):
+        self.stop_words = stop_words
+        self.min_prefix_length = min_prefix_length
+        self.min_trigger_period_seconds = period_seconds(min_trigger_period)
+        self.max_word_document_fraction = max_word_document_fraction
+        #: When connected to the warehouse indexes, words whose document
+        #: frequency exceeds the fraction are rejected even if not in the
+        #: static stop list.
+        self.indexes = indexes
+        self.total_documents = total_documents
+
+    # -- public API ------------------------------------------------------------
+
+    def check_subscription(
+        self, subscription: Subscription, privileged: bool = False
+    ) -> None:
+        """Raise :class:`ResourceLimitError` on the first violation."""
+        if privileged:
+            return
+        for query in subscription.monitoring:
+            for disjunct in query.all_disjuncts():
+                for condition in disjunct:
+                    self._check_condition(condition)
+        for continuous in subscription.continuous:
+            if continuous.frequency is not None:
+                if (
+                    period_seconds(continuous.frequency)
+                    < self.min_trigger_period_seconds
+                ):
+                    raise ResourceLimitError(
+                        f"continuous query {continuous.name!r} would run more"
+                        f" often than the allowed minimum period"
+                    )
+        for refresh in subscription.refreshes:
+            if (
+                period_seconds(refresh.frequency)
+                < self.min_trigger_period_seconds
+            ):
+                raise ResourceLimitError(
+                    f"refresh of {refresh.url!r} would run more often than"
+                    " the allowed minimum period"
+                )
+
+    # -- checks -----------------------------------------------------------------
+
+    def _check_condition(self, condition: AtomicCondition) -> None:
+        if condition.kind == URL_EXTENDS:
+            prefix = condition.string or ""
+            if len(prefix) < self.min_prefix_length:
+                raise ResourceLimitError(
+                    f"URL prefix {prefix!r} is too wide (shorter than"
+                    f" {self.min_prefix_length} characters)"
+                )
+            return
+        word: Optional[str] = None
+        if condition.kind == SELF_CONTAINS:
+            word = condition.string
+        elif condition.kind == ELEMENT and condition.string is not None:
+            word = condition.string
+        if word is None:
+            return
+        normalized = normalize_word(word)
+        if normalized in self.stop_words:
+            raise ResourceLimitError(
+                f"contains condition on too common a word {word!r}"
+            )
+        if self.indexes is not None and self.total_documents > 0:
+            frequency = self.indexes.word_frequency(normalized)
+            if (
+                frequency / self.total_documents
+                > self.max_word_document_fraction
+            ):
+                raise ResourceLimitError(
+                    f"word {word!r} appears in {frequency} of"
+                    f" {self.total_documents} documents; too common to"
+                    " monitor"
+                )

@@ -1,0 +1,7 @@
+"""Trigger Engine: periodic and notification-triggered continuous queries,
+plus versioning of query answers."""
+
+from .answers import QueryAnswerStore
+from .engine import TriggerEngine, TriggerStats
+
+__all__ = ["QueryAnswerStore", "TriggerEngine", "TriggerStats"]

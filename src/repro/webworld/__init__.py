@@ -1,0 +1,40 @@
+"""Synthetic web + workload generators (the reproduction's data substrate).
+
+* :class:`SiteGenerator` — catalogs, museums, member pages, HTML.
+* :class:`ChangeModel` — element-level page evolution between fetches.
+* :class:`SimulatedCrawler` — importance-driven refresh scheduling.
+* :class:`SyntheticWorkload` — the paper's controlled (Card(A), Card(C),
+  c, s) event workload for the MQP benchmarks.
+"""
+
+from .change_model import ChangeModel, ChangeRates
+from .crawler import CrawledPage, SimulatedCrawler
+from .refresh import ChangeRateEstimator, PageHistory, RefreshPlanner
+from .sitegen import (
+    CATALOG_DTD,
+    MEMBERS_DTD,
+    MUSEUM_DTD,
+    PRODUCT_CATEGORIES,
+    SiteGenerator,
+    to_xml,
+)
+from .workload import SyntheticWorkload, WorkloadParams, biased_document_sets
+
+__all__ = [
+    "ChangeModel",
+    "ChangeRates",
+    "CrawledPage",
+    "SimulatedCrawler",
+    "ChangeRateEstimator",
+    "PageHistory",
+    "RefreshPlanner",
+    "CATALOG_DTD",
+    "MEMBERS_DTD",
+    "MUSEUM_DTD",
+    "PRODUCT_CATEGORIES",
+    "SiteGenerator",
+    "to_xml",
+    "SyntheticWorkload",
+    "WorkloadParams",
+    "biased_document_sets",
+]

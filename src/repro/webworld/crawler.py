@@ -1,0 +1,186 @@
+"""Simulated crawler / acquisition-and-refresh module.
+
+The real module "decide[s] when to (re)read an XML or HTML document ...
+based on criteria such as the importance of a document, its estimated
+change rate or subscriptions involving this particular document"
+(Section 2.1).  The simulation keeps a page table with per-page refresh
+intervals derived from importance and subscription refresh hints, evolves
+page content through a :class:`ChangeModel`, and emits :class:`Fetch`
+items in due-time order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..clock import Clock, SECONDS_PER_DAY, SimulatedClock
+from ..pipeline.stream import Fetch, HTML_PAGE, XML_PAGE
+from ..xmlstore.nodes import Document
+from ..xmlstore.serializer import serialize
+from .change_model import ChangeModel
+
+
+@dataclass
+class CrawledPage:
+    url: str
+    kind: str
+    document: Optional[Document] = None   # XML pages
+    html: Optional[str] = None            # HTML pages
+    importance: float = 1.0
+    #: Probability that the page changed when refetched.
+    change_probability: float = 0.5
+    refresh_interval: float = SECONDS_PER_DAY
+    next_fetch: float = 0.0
+    fetch_count: int = 0
+
+
+class SimulatedCrawler:
+    """Priority-queue crawler over a mutable page table."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        change_model: Optional[ChangeModel] = None,
+        seed: int = 0,
+        base_interval: float = SECONDS_PER_DAY,
+    ):
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.change_model = (
+            change_model if change_model is not None else ChangeModel(seed)
+        )
+        self.rng = random.Random(seed)
+        self.base_interval = base_interval
+        self._pages: Dict[str, CrawledPage] = {}
+        self._queue: List = []  # (next_fetch, sequence, url)
+        self._sequence = itertools.count()
+        self.fetches_emitted = 0
+
+    # -- page table ------------------------------------------------------------
+
+    def add_xml_page(
+        self,
+        url: str,
+        document: Document,
+        importance: float = 1.0,
+        change_probability: float = 0.5,
+    ) -> CrawledPage:
+        page = CrawledPage(
+            url=url,
+            kind=XML_PAGE,
+            document=document,
+            importance=importance,
+            change_probability=change_probability,
+            refresh_interval=self._interval_for(importance),
+            next_fetch=self.clock.now(),
+        )
+        self._pages[url] = page
+        self._push(page)
+        return page
+
+    def add_html_page(
+        self,
+        url: str,
+        html: str,
+        importance: float = 1.0,
+        change_probability: float = 0.3,
+    ) -> CrawledPage:
+        page = CrawledPage(
+            url=url,
+            kind=HTML_PAGE,
+            html=html,
+            importance=importance,
+            change_probability=change_probability,
+            refresh_interval=self._interval_for(importance),
+            next_fetch=self.clock.now(),
+        )
+        self._pages[url] = page
+        self._push(page)
+        return page
+
+    def _interval_for(self, importance: float) -> float:
+        """More important pages are read more often (Section 2.2)."""
+        return self.base_interval / max(importance, 0.1)
+
+    def apply_refresh_hints(self, hints: Dict[str, float]) -> None:
+        """Subscriptions' refresh statements shorten page intervals."""
+        for url, period in hints.items():
+            page = self._pages.get(url)
+            if page is not None and period < page.refresh_interval:
+                page.refresh_interval = period
+
+    def add_importance(self, url: str, amount: float) -> None:
+        page = self._pages.get(url)
+        if page is not None:
+            page.importance += amount
+            page.refresh_interval = self._interval_for(page.importance)
+
+    def set_interval(self, url: str, interval: float) -> None:
+        """Pin a page's refresh interval (used by the refresh planner)."""
+        page = self._pages.get(url)
+        if page is not None:
+            page.refresh_interval = max(1.0, interval)
+
+    def apply_plan(self, intervals: Dict[str, float]) -> None:
+        """Install a :class:`~repro.webworld.refresh.RefreshPlanner` plan."""
+        for url, interval in intervals.items():
+            self.set_interval(url, interval)
+
+    def page(self, url: str) -> Optional[CrawledPage]:
+        return self._pages.get(url)
+
+    def remove_page(self, url: str) -> None:
+        """Forget a page; queued fetch entries for it are skipped."""
+        self._pages.pop(url, None)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    # -- fetching ----------------------------------------------------------------
+
+    def _push(self, page: CrawledPage) -> None:
+        heapq.heappush(
+            self._queue, (page.next_fetch, next(self._sequence), page.url)
+        )
+
+    def due_fetches(self) -> Iterator[Fetch]:
+        """Yield fetches whose due time has passed (in due order).
+
+        Page content evolves at fetch time according to the change model
+        and each page's change probability, then the page is rescheduled.
+        """
+        now = self.clock.now()
+        while self._queue and self._queue[0][0] <= now:
+            _, _, url = heapq.heappop(self._queue)
+            page = self._pages.get(url)
+            if page is None:
+                continue
+            yield self._fetch(page)
+            page.next_fetch = now + page.refresh_interval
+            self._push(page)
+
+    def _fetch(self, page: CrawledPage) -> Fetch:
+        page.fetch_count += 1
+        self.fetches_emitted += 1
+        changed = (
+            page.fetch_count > 1
+            and self.rng.random() < page.change_probability
+        )
+        if page.kind == XML_PAGE:
+            assert page.document is not None
+            if changed:
+                page.document = self.change_model.mutate(page.document)
+            return Fetch(
+                url=page.url, content=serialize(page.document), kind=XML_PAGE
+            )
+        assert page.html is not None
+        if changed:
+            page.html = page.html.replace(
+                "</body>",
+                f"<p>update {page.fetch_count}</p></body>",
+                1,
+            )
+        return Fetch(url=page.url, content=page.html, kind=HTML_PAGE)

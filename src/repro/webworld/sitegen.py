@@ -1,0 +1,148 @@
+"""Synthetic web-site generation.
+
+Produces the document families the paper's examples revolve around:
+
+* **product catalogs** (``new Product``, ``updated Product contains
+  "camera"``, Amazon-style URLs, a shared catalog DTD);
+* **museum collections** (the AmsterdamPaintings continuous query);
+* **member pages** (the ``self//Member`` monitoring example);
+* **HTML pages** (signature-only monitoring).
+
+Everything is driven by a seeded ``random.Random`` so streams are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..xmlstore.nodes import Document, ElementNode
+from ..xmlstore.serializer import serialize
+from .vocabulary import random_host, random_name, random_sentence
+
+CATALOG_DTD = "http://dtd.example.org/catalog.dtd"
+MUSEUM_DTD = "http://dtd.example.org/museum.dtd"
+MEMBERS_DTD = "http://dtd.example.org/members.dtd"
+
+PRODUCT_CATEGORIES = (
+    "camera", "hi-fi", "computer", "phone", "book", "music", "garden"
+)
+
+
+class SiteGenerator:
+    """Seeded factory for synthetic pages."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    # -- catalogs ---------------------------------------------------------------
+
+    def catalog_url(self, host: Optional[str] = None) -> str:
+        host = host or random_host(self.rng)
+        return f"http://{host}/catalog/products.xml"
+
+    def product(self, product_id: int) -> ElementNode:
+        rng = self.rng
+        product = ElementNode("Product", {"id": str(product_id)})
+        product.make_child("name", text=random_sentence(rng, 2))
+        product.make_child("category", text=rng.choice(PRODUCT_CATEGORIES))
+        product.make_child("price", text=f"{rng.uniform(5, 2500):.2f}")
+        product.make_child(
+            "description", text=random_sentence(rng, rng.randint(4, 12))
+        )
+        return product
+
+    def catalog(self, products: int = 10) -> Document:
+        root = ElementNode("catalog")
+        root.make_child("vendor", text=random_sentence(self.rng, 2))
+        for product_id in range(1, products + 1):
+            root.append(self.product(product_id))
+        return Document(root, doctype_name="catalog", dtd_url=CATALOG_DTD)
+
+    # -- museums -----------------------------------------------------------------
+
+    def museum_url(self, host: Optional[str] = None) -> str:
+        host = host or random_host(self.rng)
+        return f"http://{host}/collection.xml"
+
+    def museum(self, paintings: int = 8, city: Optional[str] = None) -> Document:
+        rng = self.rng
+        root = ElementNode("museum")
+        root.make_child("name", text=random_sentence(rng, 2))
+        root.make_child(
+            "address",
+            text=f"{rng.randint(1, 200)} main street "
+            f"{city or rng.choice(['Amsterdam', 'Paris', 'London', 'Wien'])}",
+        )
+        for _ in range(paintings):
+            painting = root.make_child("painting")
+            painting.make_child("title", text=random_sentence(rng, 3))
+            painting.make_child("artist", text=random_name(rng))
+            painting.make_child("year", text=str(rng.randint(1400, 2000)))
+        return Document(root, doctype_name="museum", dtd_url=MUSEUM_DTD)
+
+    # -- member pages -------------------------------------------------------------
+
+    def members_url(self, host: Optional[str] = None) -> str:
+        host = host or random_host(self.rng)
+        return f"http://{host}/team/members.xml"
+
+    def members(self, count: int = 5) -> Document:
+        root = ElementNode("members")
+        for _ in range(count):
+            member = root.make_child("Member")
+            first, last = random_name(self.rng).split(" ", 1)
+            member.make_child("name", text=last)
+            member.make_child("fn", text=first)
+        return Document(root, doctype_name="members", dtd_url=MEMBERS_DTD)
+
+    # -- generic XML (for alerter stress tests) ---------------------------------------
+
+    def generic_document(
+        self, size: int, depth: int, fanout: Optional[int] = None
+    ) -> Document:
+        """A tree with ~``size`` nodes and the given maximum depth.
+
+        Used by ``bench_xml_alerter`` to reproduce the Size × Depth cost
+        discussion of Section 6.3.
+        """
+        rng = self.rng
+        root = ElementNode("doc")
+        nodes: List[ElementNode] = [root]
+        produced = 1
+        while produced < size:
+            candidates = [n for n in nodes if n.level < depth]
+            if not candidates:
+                break
+            parent = rng.choice(candidates)
+            child = parent.make_child(
+                rng.choice(("section", "item", "entry", "note")),
+            )
+            child.append_text(random_sentence(rng, rng.randint(2, 6)))
+            nodes.append(child)
+            produced += 1
+        return Document(root)
+
+    # -- HTML -----------------------------------------------------------------------
+
+    def html_url(self, host: Optional[str] = None) -> str:
+        host = host or random_host(self.rng)
+        return f"http://{host}/index.html"
+
+    def html_page(self, paragraphs: int = 5) -> str:
+        rng = self.rng
+        body = "".join(
+            f"<p>{random_sentence(rng, rng.randint(6, 18))}</p>"
+            for _ in range(paragraphs)
+        )
+        title = random_sentence(rng, 3)
+        return (
+            f"<html><head><title>{title}</title></head>"
+            f"<body><h1>{title}</h1>{body}</body></html>"
+        )
+
+
+def to_xml(document: Document) -> str:
+    """Serialize a generated document (synonym kept for readability)."""
+    return serialize(document)

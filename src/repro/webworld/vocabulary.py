@@ -1,0 +1,62 @@
+"""Deterministic vocabulary and name pools for the synthetic web.
+
+The generators must be reproducible (benchmarks fix seeds), so all random
+choices flow through a ``random.Random`` instance owned by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import random
+
+#: Base word pool used for element text; includes the paper's running
+#: examples (camera, electronic, hi-fi ...) so example subscriptions match.
+WORDS: Sequence[str] = (
+    "camera digital electronic product catalog price discount special "
+    "battery lens zoom flash memory card tripod portrait landscape "
+    "museum painting sculpture gallery exhibition masterpiece canvas "
+    "renaissance baroque impressionist portrait still life watercolor "
+    "xml warehouse monitoring subscription query index crawler semantic "
+    "robot java linux cluster database trigger continuous alert delta "
+    "amsterdam paris london berlin madrid roma vienna bruxelles geneva "
+    "music opera violin piano concert symphony orchestra quartet "
+    "biology genome protein cell molecule enzyme bacteria virus "
+    "hi-fi stereo amplifier speaker tuner turntable headphone cable"
+).split()
+
+FIRST_NAMES: Sequence[str] = (
+    "benjamin serge gregory mihai laurent amelie sophie vincent fanny "
+    "pierangelo jeremie david sebastien bernd lucie marianne claude"
+).split()
+
+LAST_NAMES: Sequence[str] = (
+    "nguyen abiteboul cobena preda mignet marian cluet aguilera veltri "
+    "watez jouglet leniniven ailleret amann moreau petit leroy"
+).split()
+
+SITE_WORDS: Sequence[str] = (
+    "shop store market catalog museum press news labs research archive "
+    "portal index directory media culture science tech finance travel"
+).split()
+
+TOP_LEVEL_DOMAINS: Sequence[str] = ("com", "org", "fr", "nl", "de", "uk")
+
+
+def random_words(rng: random.Random, count: int) -> List[str]:
+    return [rng.choice(WORDS) for _ in range(count)]
+
+
+def random_sentence(rng: random.Random, words: int) -> str:
+    return " ".join(random_words(rng, words))
+
+
+def random_name(rng: random.Random) -> str:
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def random_host(rng: random.Random) -> str:
+    return (
+        f"www.{rng.choice(SITE_WORDS)}{rng.randrange(1000)}."
+        f"{rng.choice(TOP_LEVEL_DOMAINS)}"
+    )

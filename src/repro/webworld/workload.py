@@ -1,0 +1,151 @@
+"""The paper's synthetic MQP workload (Section 4.2, "Analysis in brief").
+
+"In our experimentation, we completely controlled Card(A), Card(C), s and
+c.  For Card(A), we fix an upper bound.  Then to produce the test set,
+atomic events are randomly drawn in the set {a_0 ... a_Card(A)-1} with no
+guarantee that they will all be taken.  Finally, to obtain k, we use the
+fact that k can be estimated as c̄ · Card(C) / Card(A)."
+
+:class:`SyntheticWorkload` reproduces exactly that: uniform draws for
+complex events and document event sets, parameterized by the four knobs.
+A Zipf-skewed variant models the paper's observation that "there may be
+thousands of complex events that will involve the url of Amazon's whereas
+only very few will be concerned with the url of John Doe's home page".
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """The paper's knobs.
+
+    ``c_min``/``c_max`` bound the per-conjunction size (the paper uses
+    c̄ ≈ 3, "unlikely in our context to exceed 7 or 8"); ``s`` is the
+    number of atomic events detected per document (10..100 in Figure 5).
+    """
+
+    card_a: int
+    card_c: int
+    c_min: int = 2
+    c_max: int = 4
+    s: int = 20
+    seed: int = 0
+    #: 0.0 = uniform draws (the paper's setup); > 0 = Zipf skew exponent.
+    zipf_exponent: float = 0.0
+
+    @property
+    def c_mean(self) -> float:
+        return (self.c_min + self.c_max) / 2
+
+    @property
+    def estimated_k(self) -> float:
+        """The paper's estimate k ≈ c̄ · Card(C) / Card(A)."""
+        return self.c_mean * self.card_c / self.card_a
+
+
+class SyntheticWorkload:
+    """Reproducible draws: complex events and document event sets use
+    independent generators, so the order of calls never changes a draw."""
+
+    def __init__(self, params: WorkloadParams):
+        self.params = params
+        self._event_rng = random.Random(params.seed)
+        self._doc_rng = random.Random(params.seed + 7919)
+        self._events: Optional[List[Tuple[int, List[int]]]] = None
+        self._cumulative: Optional[List[float]] = None
+        if params.zipf_exponent > 0.0:
+            cumulative: List[float] = []
+            total = 0.0
+            for rank in range(1, params.card_a + 1):
+                total += 1.0 / (rank ** params.zipf_exponent)
+                cumulative.append(total)
+            self._cumulative = cumulative
+
+    # -- draws -----------------------------------------------------------------
+
+    def _draw_event(self, rng: random.Random) -> int:
+        if self._cumulative is None:
+            return rng.randrange(self.params.card_a)
+        point = rng.random() * self._cumulative[-1]
+        return bisect.bisect_left(self._cumulative, point)
+
+    def _draw_set(self, rng: random.Random, size: int) -> List[int]:
+        chosen: set = set()
+        while len(chosen) < size:
+            chosen.add(self._draw_event(rng))
+        return sorted(chosen)
+
+    # -- workload pieces ------------------------------------------------------------
+
+    def complex_events(self) -> List[Tuple[int, List[int]]]:
+        """(complex code, sorted atomic codes) for all Card(C) events.
+
+        Generated once and cached, so matcher loading and any later
+        inspection see the same draw.
+        """
+        if self._events is None:
+            params = self.params
+            rng = self._event_rng
+            self._events = [
+                (code, self._draw_set(rng, rng.randint(params.c_min, params.c_max)))
+                for code in range(1, params.card_c + 1)
+            ]
+        return self._events
+
+    def document_event_sets(self, count: int) -> List[List[int]]:
+        """``count`` document event sets of size s (sorted, duplicate-free)."""
+        return [
+            self._draw_set(self._doc_rng, self.params.s)
+            for _ in range(count)
+        ]
+
+    def load_matcher(self, matcher) -> None:
+        """Register every complex event of the workload into ``matcher``."""
+        for code, atomic_codes in self.complex_events():
+            matcher.add(code, atomic_codes)
+
+    def build(self, matcher_factory: Callable):
+        """Construct and load a matcher in one call."""
+        matcher = matcher_factory()
+        self.load_matcher(matcher)
+        return matcher
+
+    def observed_k(self) -> float:
+        """Exact k of the drawn workload (vs the c̄·Card(C)/Card(A) estimate)."""
+        fanout: dict = {}
+        for _, atomic_codes in self.complex_events():
+            for code in atomic_codes:
+                fanout[code] = fanout.get(code, 0) + 1
+        if not fanout:
+            return 0.0
+        return sum(fanout.values()) / len(fanout)
+
+
+def biased_document_sets(
+    workload: SyntheticWorkload,
+    count: int,
+    hit_fraction: float,
+    seed: int = 1,
+) -> List[List[int]]:
+    """Document sets engineered so ~``hit_fraction`` of them contain a full
+    complex event — useful for notification-rate experiments where uniform
+    draws would almost never match at large Card(A)."""
+    rng = random.Random(seed)
+    events = workload.complex_events()
+    sets = workload.document_event_sets(count)
+    for event_set in sets:
+        if rng.random() >= hit_fraction or not events:
+            continue
+        _, atomic_codes = rng.choice(events)
+        usable = atomic_codes[: workload.params.s]
+        keep = event_set[: max(0, len(event_set) - len(usable))]
+        merged = set(keep)
+        merged.update(usable)
+        event_set[:] = sorted(merged)
+    return sets

@@ -1,0 +1,103 @@
+"""XML parser: token stream -> :class:`~repro.xmlstore.nodes.Document`.
+
+Checks well-formedness (single root, balanced tags) and folds adjacent text
+tokens.  Whitespace-only text between elements is dropped by default because
+the alerter word tables and the diff matcher operate on meaningful data
+nodes; pass ``keep_whitespace=True`` to preserve it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import XMLSyntaxError
+from . import tokenizer
+from .nodes import Document, ElementNode, TextNode
+
+
+def parse(source: str, keep_whitespace: bool = False) -> Document:
+    """Parse an XML string into a :class:`Document`.
+
+    >>> doc = parse('<catalog><product>camera</product></catalog>')
+    >>> doc.root.tag
+    'catalog'
+    >>> doc.root.children[0].text_content()
+    'camera'
+    """
+    root: Optional[ElementNode] = None
+    doctype_name: Optional[str] = None
+    dtd_url: Optional[str] = None
+    stack: List[ElementNode] = []
+    pending_text: List[str] = []
+    pending_pos = (0, 0)
+
+    def flush_text() -> None:
+        nonlocal pending_text
+        if not pending_text:
+            return
+        data = "".join(pending_text)
+        pending_text = []
+        if not keep_whitespace and not data.strip():
+            return
+        if not stack:
+            if data.strip():
+                raise XMLSyntaxError(
+                    "character data outside the root element",
+                    pending_pos[0],
+                    pending_pos[1],
+                )
+            return
+        stack[-1].append(TextNode(data))
+
+    for token in tokenizer.tokenize(source):
+        if token.kind == tokenizer.TEXT:
+            if not pending_text:
+                pending_pos = (token.line, token.column)
+            pending_text.append(token.value)  # type: ignore[arg-type]
+            continue
+        flush_text()
+        if token.kind == tokenizer.DOCTYPE:
+            if root is not None or stack:
+                raise XMLSyntaxError(
+                    "DOCTYPE after the root element", token.line, token.column
+                )
+            doctype_name, dtd_url = token.value  # type: ignore[misc]
+            continue
+        if token.kind == tokenizer.START_TAG:
+            tag, attrs, self_closing = token.value  # type: ignore[misc]
+            element = ElementNode(tag, attrs)
+            if stack:
+                stack[-1].append(element)
+            elif root is None:
+                root = element
+            else:
+                raise XMLSyntaxError(
+                    f"second root element <{tag}>", token.line, token.column
+                )
+            if not self_closing:
+                stack.append(element)
+            continue
+        if token.kind == tokenizer.END_TAG:
+            tag = token.value
+            if not stack:
+                raise XMLSyntaxError(
+                    f"unexpected end tag </{tag}>", token.line, token.column
+                )
+            open_element = stack.pop()
+            if open_element.tag != tag:
+                raise XMLSyntaxError(
+                    f"end tag </{tag}> does not match <{open_element.tag}>",
+                    token.line,
+                    token.column,
+                )
+            continue
+        raise XMLSyntaxError(
+            f"unexpected token kind {token.kind}", token.line, token.column
+        )
+
+    flush_text()
+    if stack:
+        raise XMLSyntaxError(f"unclosed element <{stack[-1].tag}>")
+    if root is None:
+        raise XMLSyntaxError("document has no root element")
+    return Document(root, doctype_name=doctype_name, dtd_url=dtd_url)

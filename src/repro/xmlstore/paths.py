@@ -1,0 +1,158 @@
+"""Path expressions over the node tree.
+
+The paper's query examples use simple path syntax: ``culture/museum m``,
+``m/painting p``, ``self//Member X``.  We support:
+
+* ``tag`` steps separated by ``/`` (child axis) or ``//`` (descendant axis),
+* a leading ``self`` (the context node) or a leading ``//`` (any descendant
+  of the context node),
+* ``*`` as a wildcard tag,
+* a trailing ``@attr`` step selecting an attribute value.
+
+:func:`parse_path` compiles the expression once; :meth:`PathExpression.select`
+evaluates it against an element, yielding matching nodes (or strings for
+attribute steps) in document order without duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+from ..errors import PathSyntaxError
+from .nodes import ElementNode
+
+CHILD = "child"
+DESCENDANT = "descendant"
+
+
+@dataclass(frozen=True)
+class Step:
+    axis: str  # CHILD or DESCENDANT
+    tag: str   # element tag or "*"
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """A compiled path: steps plus an optional final attribute selector."""
+
+    steps: tuple
+    attribute: Optional[str] = None
+    #: Whether the path started with ``self`` (purely informational; ``self``
+    #: only anchors the path at the context node, which select() does anyway).
+    from_self: bool = False
+
+    def select(self, context: ElementNode) -> Iterator[Union[ElementNode, str]]:
+        """Yield matches of the path evaluated from ``context``."""
+        current: List[ElementNode] = [context]
+        for step in self.steps:
+            seen: set[int] = set()
+            next_nodes: List[ElementNode] = []
+            for node in current:
+                candidates: Iterator[ElementNode]
+                if step.axis == CHILD:
+                    candidates = iter(node.element_children())
+                else:
+                    candidates = (
+                        descendant
+                        for descendant in node.preorder()
+                        if isinstance(descendant, ElementNode)
+                    )
+                for candidate in candidates:
+                    if step.axis == DESCENDANT and candidate is node:
+                        continue
+                    if step.tag != "*" and candidate.tag != step.tag:
+                        continue
+                    if id(candidate) in seen:
+                        continue
+                    seen.add(id(candidate))
+                    next_nodes.append(candidate)
+            current = next_nodes
+        if self.attribute is None:
+            yield from current
+        else:
+            for node in current:
+                value = node.attributes.get(self.attribute)
+                if value is not None:
+                    yield value
+
+    def first(self, context: ElementNode) -> Optional[Union[ElementNode, str]]:
+        return next(self.select(context), None)
+
+
+def parse_path(expression: str) -> PathExpression:
+    """Compile a path expression string.
+
+    >>> path = parse_path('museum/painting')
+    >>> path.steps[0].tag
+    'museum'
+    """
+    text = expression.strip()
+    if not text:
+        raise PathSyntaxError("empty path expression")
+
+    attribute: Optional[str] = None
+    if "@" in text:
+        text, _, attr = text.rpartition("@")
+        attribute = attr.strip()
+        if not attribute:
+            raise PathSyntaxError(f"empty attribute name in {expression!r}")
+        text = text.rstrip("/") if text.endswith("//") is False else text
+        if text.endswith("/"):
+            text = text[:-1]
+        if not text:
+            raise PathSyntaxError(
+                f"attribute step must follow an element step: {expression!r}"
+            )
+
+    from_self = False
+    axis = CHILD
+    if text == "self":
+        if attribute is None:
+            raise PathSyntaxError("'self' alone selects nothing; add a step")
+        return PathExpression(steps=(), attribute=attribute, from_self=True)
+    if text.startswith("self//"):
+        from_self = True
+        axis = DESCENDANT
+        text = text[len("self//"):]
+    elif text.startswith("self/"):
+        from_self = True
+        text = text[len("self/"):]
+    elif text.startswith("//"):
+        axis = DESCENDANT
+        text = text[2:]
+    elif text.startswith("/"):
+        text = text[1:]
+
+    steps: List[Step] = []
+    i = 0
+    token = ""
+    pending_axis = axis
+    while i <= len(text):
+        ch = text[i] if i < len(text) else "/"
+        if ch == "/":
+            if token:
+                steps.append(Step(pending_axis, token))
+                token = ""
+                pending_axis = CHILD
+            elif i < len(text):
+                # two consecutive slashes -> descendant axis for next step
+                if pending_axis == DESCENDANT:
+                    raise PathSyntaxError(
+                        f"malformed path (///): {expression!r}"
+                    )
+                pending_axis = DESCENDANT
+            i += 1
+            continue
+        if not (ch.isalnum() or ch in "_:.-*"):
+            raise PathSyntaxError(
+                f"invalid character {ch!r} in path {expression!r}"
+            )
+        token += ch
+        i += 1
+
+    if not steps and attribute is None:
+        raise PathSyntaxError(f"path selects nothing: {expression!r}")
+    return PathExpression(
+        steps=tuple(steps), attribute=attribute, from_self=from_self
+    )

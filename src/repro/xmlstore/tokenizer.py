@@ -1,0 +1,275 @@
+"""Hand-written XML tokenizer.
+
+The substrate must parse the XML pages the simulated crawler fetches.  We
+implement the subset of XML 1.0 that web documents of the paper's era (and
+our synthetic generator) use:
+
+* element tags with attributes (single- or double-quoted),
+* character data with the five predefined entities plus numeric references,
+* comments, processing instructions and CDATA sections (skipped / folded),
+* an optional ``<!DOCTYPE name SYSTEM "url">`` declaration.
+
+Namespaces are treated lexically (a tag may contain ``:``).  The tokenizer
+is a generator of :class:`Token` objects consumed by ``repro.xmlstore.parser``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import XMLSyntaxError
+
+#: Token kinds produced by :func:`tokenize`.
+START_TAG = "start"          # value = (tag, attrs, self_closing)
+END_TAG = "end"              # value = tag
+TEXT = "text"                # value = character data (entity-decoded)
+DOCTYPE = "doctype"          # value = (name, system_url or None)
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+@dataclass
+class Token:
+    kind: str
+    value: object
+    line: int
+    column: int
+
+
+class _Cursor:
+    """Tracks position in the source string with line/column accounting."""
+
+    __slots__ = ("text", "pos", "line", "column")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + count]
+        newlines = chunk.count("\n")
+        if newlines:
+            self.line += newlines
+            self.column = len(chunk) - chunk.rfind("\n")
+        else:
+            self.column += len(chunk)
+        self.pos += count
+        return chunk
+
+    def find(self, needle: str) -> int:
+        return self.text.find(needle, self.pos)
+
+    def error(self, message: str) -> XMLSyntaxError:
+        return XMLSyntaxError(message, self.line, self.column)
+
+
+def decode_entities(text: str, cursor: Optional[_Cursor] = None) -> str:
+    """Replace predefined and numeric entity references in ``text``."""
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XMLSyntaxError(
+                "unterminated entity reference",
+                cursor.line if cursor else 0,
+                cursor.column if cursor else 0,
+            )
+        name = text[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[name])
+        else:
+            raise XMLSyntaxError(
+                f"unknown entity &{name};",
+                cursor.line if cursor else 0,
+                cursor.column if cursor else 0,
+            )
+        i = end + 1
+    return "".join(out)
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in "_:"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_:.-"
+
+
+_NAME_RE = re.compile(r"[A-Za-z_:À-￿][\w:.\-]*")
+_WS_RE = re.compile(r"[ \t\r\n]+")
+
+
+def _read_name(cur: _Cursor) -> str:
+    match = _NAME_RE.match(cur.text, cur.pos)
+    if match is None:
+        raise cur.error(f"expected a name, found {cur.peek()!r}")
+    cur.advance(match.end() - cur.pos)
+    return match.group()
+
+
+def _skip_whitespace(cur: _Cursor) -> None:
+    match = _WS_RE.match(cur.text, cur.pos)
+    if match is not None:
+        cur.advance(match.end() - cur.pos)
+
+
+def _read_quoted(cur: _Cursor) -> str:
+    quote = cur.peek()
+    if quote not in "\"'":
+        raise cur.error("expected a quoted value")
+    cur.advance()
+    end = cur.find(quote)
+    if end == -1:
+        raise cur.error("unterminated quoted value")
+    raw = cur.text[cur.pos : end]
+    cur.advance(end - cur.pos + 1)
+    return decode_entities(raw, cur)
+
+
+def _read_attributes(cur: _Cursor) -> Dict[str, str]:
+    attrs: Dict[str, str] = {}
+    while True:
+        _skip_whitespace(cur)
+        if cur.eof() or cur.peek() in "/>":
+            return attrs
+        name = _read_name(cur)
+        _skip_whitespace(cur)
+        if cur.peek() != "=":
+            raise cur.error(f"attribute {name!r} missing '='")
+        cur.advance()
+        _skip_whitespace(cur)
+        value = _read_quoted(cur)
+        if name in attrs:
+            raise cur.error(f"duplicate attribute {name!r}")
+        attrs[name] = value
+
+
+def _read_doctype(cur: _Cursor) -> Tuple[str, Optional[str]]:
+    # cur is positioned right after "<!DOCTYPE".
+    _skip_whitespace(cur)
+    name = _read_name(cur)
+    _skip_whitespace(cur)
+    system_url: Optional[str] = None
+    if cur.startswith("SYSTEM"):
+        cur.advance(len("SYSTEM"))
+        _skip_whitespace(cur)
+        system_url = _read_quoted(cur)
+    elif cur.startswith("PUBLIC"):
+        cur.advance(len("PUBLIC"))
+        _skip_whitespace(cur)
+        _read_quoted(cur)  # public id, ignored
+        _skip_whitespace(cur)
+        system_url = _read_quoted(cur)
+    _skip_whitespace(cur)
+    # Skip an internal subset if present.
+    if cur.peek() == "[":
+        end = cur.find("]")
+        if end == -1:
+            raise cur.error("unterminated DOCTYPE internal subset")
+        cur.advance(end - cur.pos + 1)
+        _skip_whitespace(cur)
+    if cur.peek() != ">":
+        raise cur.error("malformed DOCTYPE declaration")
+    cur.advance()
+    return name, system_url
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield :class:`Token` objects for ``source``.
+
+    Raises :class:`~repro.errors.XMLSyntaxError` on lexically malformed
+    input.  Well-formedness across tokens (balanced tags) is checked by the
+    parser, not here.
+    """
+    cur = _Cursor(source)
+    while not cur.eof():
+        line, column = cur.line, cur.column
+        if cur.peek() != "<":
+            end = cur.find("<")
+            if end == -1:
+                end = len(cur.text)
+            raw = cur.text[cur.pos : end]
+            cur.advance(end - cur.pos)
+            yield Token(TEXT, decode_entities(raw, cur), line, column)
+            continue
+
+        if cur.startswith("<!--"):
+            end = cur.find("-->")
+            if end == -1:
+                raise cur.error("unterminated comment")
+            cur.advance(end - cur.pos + 3)
+            continue
+        if cur.startswith("<![CDATA["):
+            end = cur.find("]]>")
+            if end == -1:
+                raise cur.error("unterminated CDATA section")
+            data = cur.text[cur.pos + 9 : end]
+            cur.advance(end - cur.pos + 3)
+            yield Token(TEXT, data, line, column)
+            continue
+        if cur.startswith("<?"):
+            end = cur.find("?>")
+            if end == -1:
+                raise cur.error("unterminated processing instruction")
+            cur.advance(end - cur.pos + 2)
+            continue
+        if cur.startswith("<!DOCTYPE"):
+            cur.advance(len("<!DOCTYPE"))
+            name, system_url = _read_doctype(cur)
+            yield Token(DOCTYPE, (name, system_url), line, column)
+            continue
+        if cur.startswith("<!"):
+            raise cur.error("unsupported markup declaration")
+        if cur.startswith("</"):
+            cur.advance(2)
+            name = _read_name(cur)
+            _skip_whitespace(cur)
+            if cur.peek() != ">":
+                raise cur.error(f"malformed end tag </{name}")
+            cur.advance()
+            yield Token(END_TAG, name, line, column)
+            continue
+
+        # Start tag.
+        cur.advance()  # consume '<'
+        name = _read_name(cur)
+        attrs = _read_attributes(cur)
+        self_closing = False
+        if cur.peek() == "/":
+            self_closing = True
+            cur.advance()
+        if cur.peek() != ">":
+            raise cur.error(f"malformed start tag <{name}")
+        cur.advance()
+        yield Token(START_TAG, (name, attrs, self_closing), line, column)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.pipeline import SubscriptionSystem
+from repro.repository import Repository, SemanticClassifier
+from repro.webworld import SiteGenerator
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock(start=1_000_000.0)
+
+
+@pytest.fixture
+def classifier() -> SemanticClassifier:
+    instance = SemanticClassifier()
+    instance.add_rule("culture", ["museum", "painting"])
+    instance.add_rule("commerce", ["catalog", "Product"])
+    return instance
+
+
+@pytest.fixture
+def repository(classifier, clock) -> Repository:
+    return Repository(classifier=classifier, clock=clock)
+
+
+@pytest.fixture
+def system(classifier, clock) -> SubscriptionSystem:
+    return SubscriptionSystem(clock=clock, classifier=classifier)
+
+
+@pytest.fixture
+def sitegen() -> SiteGenerator:
+    return SiteGenerator(seed=42)

@@ -1,0 +1,134 @@
+import pytest
+
+from repro.alerters import AlerterChain, HTMLAlerter, strip_markup
+from repro.alerters.context import FetchedDocument
+from repro.core import AtomicEventKey
+from repro.diff.changes import DOC_NEW, DOC_UPDATED
+from repro.errors import MonitoringError
+from repro.repository import DocumentMeta
+from repro.xmlstore import parse
+
+
+def key(kind, argument=None):
+    return AtomicEventKey(kind, argument)
+
+
+def html_fetch(content, url="http://h/index.html", status=DOC_NEW):
+    return FetchedDocument(
+        url=url,
+        meta=DocumentMeta(doc_id=1, url=url, kind="html"),
+        status=status,
+        raw_content=content,
+    )
+
+
+def xml_fetch(source, url="http://x/a.xml", status=DOC_NEW):
+    return FetchedDocument(
+        url=url,
+        meta=DocumentMeta(doc_id=2, url=url),
+        status=status,
+        document=parse(source),
+    )
+
+
+class TestStripMarkup:
+    def test_tags_removed(self):
+        assert "camera" in strip_markup("<p>a <b>camera</b></p>")
+        assert "<b>" not in strip_markup("<p>a <b>camera</b></p>")
+
+    def test_script_and_style_bodies_removed(self):
+        html = "<script>var camera=1;</script><p>text</p>"
+        assert "camera" not in strip_markup(html)
+
+    def test_plain_text_unchanged(self):
+        assert strip_markup("no tags").strip() == "no tags"
+
+
+class TestHTMLAlerter:
+    def test_keyword_detected(self):
+        alerter = HTMLAlerter()
+        alerter.register(1, key("self_contains", "camera"))
+        codes, _ = alerter.detect(html_fetch("<p>new camera deals</p>"))
+        assert codes == {1}
+
+    def test_keyword_in_markup_not_detected(self):
+        alerter = HTMLAlerter()
+        alerter.register(1, key("self_contains", "div"))
+        assert alerter.detect(html_fetch("<div>plain</div>"))[0] == set()
+
+    def test_unregister(self):
+        alerter = HTMLAlerter()
+        alerter.register(1, key("self_contains", "x"))
+        alerter.unregister(1, key("self_contains", "x"))
+        assert alerter.detect(html_fetch("x"))[0] == set()
+
+    def test_rejects_other_kinds(self):
+        with pytest.raises(MonitoringError):
+            HTMLAlerter().register(1, key("url_eq", "u"))
+
+    def test_xml_fetch_ignored(self):
+        alerter = HTMLAlerter()
+        alerter.register(1, key("self_contains", "word"))
+        assert alerter.detect(xml_fetch("<a>word</a>"))[0] == set()
+
+
+class TestChainRouting:
+    def test_register_routes_by_kind(self):
+        chain = AlerterChain()
+        chain.register(1, key("url_extends", "http://a/"))
+        chain.register(2, key("tag_present", ("p", "w", False)))
+        alert = chain.build_alert(xml_fetch("<r><p>w</p></r>", "http://a/x"))
+        assert alert is not None
+        assert alert.event_codes == [1, 2]
+
+    def test_self_contains_served_by_xml_and_html_alerters(self):
+        chain = AlerterChain()
+        chain.register(1, key("self_contains", "camera"))
+        chain.register(2, key("url_extends", "http://"))
+        xml_alert = chain.build_alert(xml_fetch("<r>camera</r>"))
+        html_alert = chain.build_alert(html_fetch("<p>camera</p>"))
+        assert 1 in xml_alert.event_codes
+        assert 1 in html_alert.event_codes
+
+    def test_unknown_kind_rejected(self):
+        chain = AlerterChain()
+        with pytest.raises(MonitoringError):
+            chain.register(1, key("martian"))
+
+    def test_unregister_stops_detection(self):
+        chain = AlerterChain()
+        chain.register(1, key("url_extends", "http://a/"))
+        chain.unregister(1, key("url_extends", "http://a/"))
+        assert chain.build_alert(xml_fetch("<r/>", "http://a/x")) is None
+
+
+class TestWeakStrongGating:
+    def test_alert_codes_are_sorted(self):
+        chain = AlerterChain()
+        # Register in an order that would naturally detect out of order.
+        chain.register(9, key("url_extends", "http://a/"))
+        chain.register(3, key("tag_present", ("p", None, False)))
+        alert = chain.build_alert(xml_fetch("<r><p/></r>", "http://a/x"))
+        assert alert.event_codes == sorted(alert.event_codes)
+
+    def test_weak_only_detection_sends_no_alert(self):
+        chain = AlerterChain()
+        chain.register(1, key("doc_updated"))
+        alert = chain.build_alert(
+            xml_fetch("<r/>", status=DOC_UPDATED)
+        )
+        assert alert is None
+
+    def test_weak_included_when_strong_fires(self):
+        chain = AlerterChain()
+        chain.register(1, key("doc_updated"))
+        chain.register(2, key("url_extends", "http://a/"))
+        alert = chain.build_alert(
+            xml_fetch("<r/>", "http://a/x", status=DOC_UPDATED)
+        )
+        assert alert.event_codes == [1, 2]
+
+    def test_nothing_detected_no_alert(self):
+        chain = AlerterChain()
+        chain.register(1, key("url_eq", "http://elsewhere/"))
+        assert chain.build_alert(xml_fetch("<r/>")) is None

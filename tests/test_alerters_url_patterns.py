@@ -1,0 +1,123 @@
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alerters import PrefixHashTable, PrefixTrie
+
+STRUCTURES = [PrefixHashTable, PrefixTrie]
+
+
+@pytest.fixture(params=STRUCTURES, ids=["hash", "trie"])
+def structure(request):
+    return request.param()
+
+
+class TestPrefixMatching:
+    def test_simple_prefix(self, structure):
+        structure.add("http://www.xyleme.com/", 1)
+        assert structure.matches("http://www.xyleme.com/products.xml") == {1}
+
+    def test_exact_length_match(self, structure):
+        structure.add("http://a/", 1)
+        assert structure.matches("http://a/") == {1}
+
+    def test_no_match_when_url_shorter(self, structure):
+        structure.add("http://www.long-prefix.com/", 1)
+        assert structure.matches("http://www") == set()
+
+    def test_multiple_nested_prefixes(self, structure):
+        structure.add("http://a/", 1)
+        structure.add("http://a/b/", 2)
+        structure.add("http://a/b/c/", 3)
+        assert structure.matches("http://a/b/c/page.xml") == {1, 2, 3}
+        assert structure.matches("http://a/b/") == {1, 2}
+
+    def test_multiple_codes_per_prefix(self, structure):
+        # "thousands of complex events ... involve the url of Amazon's".
+        for code in range(5):
+            structure.add("http://www.amazon.com/", code)
+        assert structure.matches("http://www.amazon.com/catalog/") == set(
+            range(5)
+        )
+
+    def test_disjoint_prefixes(self, structure):
+        structure.add("http://a/", 1)
+        structure.add("http://b/", 2)
+        assert structure.matches("http://b/x") == {2}
+
+    def test_empty_structure(self, structure):
+        assert structure.matches("http://anything/") == set()
+
+
+class TestRemoval:
+    def test_remove_code(self, structure):
+        structure.add("http://a/", 1)
+        structure.add("http://a/", 2)
+        structure.remove("http://a/", 1)
+        assert structure.matches("http://a/x") == {2}
+
+    def test_remove_last_code_drops_prefix(self, structure):
+        structure.add("http://a/", 1)
+        structure.remove("http://a/", 1)
+        assert structure.matches("http://a/x") == set()
+        assert len(structure) == 0
+
+    def test_remove_unknown_is_noop(self, structure):
+        structure.remove("http://never/", 1)
+        assert len(structure) == 0
+
+
+class TestTrieSpecifics:
+    def test_trie_prunes_nodes_on_removal(self):
+        trie = PrefixTrie()
+        trie.add("http://abc/", 1)
+        nodes_full = trie.node_count()
+        trie.remove("http://abc/", 1)
+        assert trie.node_count() < nodes_full
+        assert trie.node_count() == 1  # just the root
+
+    def test_trie_memory_overhead_visible(self):
+        # The paper rejected the trie for memory: node count is much larger
+        # than the number of registered prefixes.
+        trie = PrefixTrie()
+        hash_table = PrefixHashTable()
+        for i in range(50):
+            prefix = f"http://site-{i:04d}.example.com/"
+            trie.add(prefix, i)
+            hash_table.add(prefix, i)
+        assert trie.node_count() > len(hash_table) * 5
+
+
+class TestHashSpecifics:
+    def test_scanning_all_prefixes_agrees_with_fast_path(self):
+        table = PrefixHashTable()
+        rng = random.Random(7)
+        prefixes = [
+            "http://" + "".join(rng.choices("abc/", k=rng.randint(3, 12)))
+            for _ in range(50)
+        ]
+        for code, prefix in enumerate(prefixes):
+            table.add(prefix, code)
+        for _ in range(100):
+            url = "http://" + "".join(rng.choices("abc/", k=20))
+            assert table.matches(url) == table.matches_scanning_all_prefixes(
+                url
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.text("abz/:.", min_size=1, max_size=12), st.integers(0, 30)),
+        max_size=20,
+    ),
+    st.text("abz/:.", min_size=0, max_size=25),
+)
+def test_hash_and_trie_always_agree(entries, url):
+    hash_table = PrefixHashTable()
+    trie = PrefixTrie()
+    for prefix, code in entries:
+        hash_table.add(prefix, code)
+        trie.add(prefix, code)
+    assert hash_table.matches(url) == trie.matches(url)

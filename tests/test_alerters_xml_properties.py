@@ -1,0 +1,144 @@
+"""Property test: the XML alerter's postorder algorithm against a
+brute-force reference evaluation of the same conditions."""
+
+from typing import Set
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alerters import XMLAlerter
+from repro.alerters.context import FetchedDocument
+from repro.core import AtomicEventKey
+from repro.repository import DocumentMeta
+from repro.xmlstore.nodes import Document, ElementNode, TextNode
+from repro.xmlstore.words import unique_words
+
+TAGS = ["a", "b", "Product", "item"]
+WORDS = ["camera", "piano", "xml", "word"]
+
+
+@st.composite
+def xml_documents(draw, depth=3):
+    def build(level):
+        element = ElementNode(draw(st.sampled_from(TAGS)))
+        for _ in range(draw(st.integers(0, 3)) if level < depth else 0):
+            if draw(st.booleans()):
+                element.append(
+                    TextNode(
+                        " ".join(
+                            draw(
+                                st.lists(
+                                    st.sampled_from(WORDS),
+                                    min_size=1,
+                                    max_size=3,
+                                )
+                            )
+                        )
+                    )
+                )
+            else:
+                element.append(build(level + 1))
+        return element
+
+    root = ElementNode("root")
+    for _ in range(draw(st.integers(0, 3))):
+        root.append(build(1))
+    return Document(root)
+
+
+@st.composite
+def condition_sets(draw):
+    conditions = []
+    for code in range(1, draw(st.integers(1, 8)) + 1):
+        kind = draw(st.sampled_from(["self", "contains", "strict", "tag"]))
+        tag = draw(st.sampled_from(TAGS))
+        word = draw(st.sampled_from(WORDS))
+        if kind == "self":
+            conditions.append((code, AtomicEventKey("self_contains", word)))
+        elif kind == "contains":
+            conditions.append(
+                (code, AtomicEventKey("tag_present", (tag, word, False)))
+            )
+        elif kind == "strict":
+            conditions.append(
+                (code, AtomicEventKey("tag_present", (tag, word, True)))
+            )
+        else:
+            conditions.append(
+                (code, AtomicEventKey("tag_present", (tag, None, False)))
+            )
+    return conditions
+
+
+def brute_force(document: Document, conditions) -> Set[int]:
+    all_words: Set[str] = set()
+    for node in document.preorder():
+        if isinstance(node, TextNode):
+            all_words |= unique_words(node.data)
+    detected: Set[int] = set()
+    for code, key in conditions:
+        if key.kind == "self_contains":
+            if key.argument in all_words:
+                detected.add(code)
+            continue
+        tag, word, strict = key.argument
+        for node in document.preorder():
+            if not isinstance(node, ElementNode) or node.tag != tag:
+                continue
+            if word is None:
+                detected.add(code)
+                break
+            if strict:
+                direct: Set[str] = set()
+                for child in node.children:
+                    if isinstance(child, TextNode):
+                        direct |= unique_words(child.data)
+                if word in direct:
+                    detected.add(code)
+                    break
+            else:
+                subtree: Set[str] = set()
+                for inner in node.preorder():
+                    if isinstance(inner, TextNode):
+                        subtree |= unique_words(inner.data)
+                if word in subtree:
+                    detected.add(code)
+                    break
+    return detected
+
+
+@settings(max_examples=120, deadline=None)
+@given(xml_documents(), condition_sets())
+def test_alerter_matches_brute_force(document, conditions):
+    alerter = XMLAlerter()
+    for code, key in conditions:
+        alerter.register(code, key)
+    fetched = FetchedDocument(
+        url="http://x/",
+        meta=DocumentMeta(doc_id=1, url="http://x/"),
+        status="unchanged",
+        document=document,
+    )
+    detected, _ = alerter.detect(fetched)
+    assert detected == brute_force(document, conditions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_documents(), condition_sets(), st.data())
+def test_alerter_consistent_after_unregistrations(document, conditions, data):
+    alerter = XMLAlerter()
+    for code, key in conditions:
+        alerter.register(code, key)
+    keep = []
+    for code, key in conditions:
+        if data.draw(st.booleans(), label=f"keep-{code}"):
+            keep.append((code, key))
+        else:
+            alerter.unregister(code, key)
+    fetched = FetchedDocument(
+        url="http://x/",
+        meta=DocumentMeta(doc_id=1, url="http://x/"),
+        status="unchanged",
+        document=document,
+    )
+    detected, _ = alerter.detect(fetched)
+    assert detected == brute_force(document, keep)

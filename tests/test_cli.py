@@ -1,0 +1,105 @@
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+subscription CliTest
+monitoring Q
+select <Hit url=URL/>
+where URL extends "http://watched.example/"
+  and modified self
+report when immediate
+"""
+
+BAD_SOURCE = """
+subscription Bad
+monitoring
+select X
+from self//a X
+where modified self
+report when immediate
+"""
+
+
+@pytest.fixture
+def subscription_file(tmp_path):
+    path = tmp_path / "sub.xyl"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCheck:
+    def test_valid_subscription(self, subscription_file, capsys):
+        assert main(["check", subscription_file]) == 0
+        out = capsys.readouterr().out
+        assert "CliTest: OK" in out
+        assert "monitoring queries : 1" in out
+
+    def test_invalid_subscription(self, tmp_path, capsys):
+        path = tmp_path / "bad.xyl"
+        path.write_text(BAD_SOURCE)
+        assert main(["check", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.xyl"
+        path.write_text("subscription")
+        assert main(["check", str(path)]) == 1
+
+
+class TestFmt:
+    def test_canonical_output_reparses(self, subscription_file, capsys):
+        assert main(["fmt", subscription_file]) == 0
+        out = capsys.readouterr().out
+        from repro.language import parse_subscription
+
+        assert parse_subscription(out).name == "CliTest"
+
+    def test_fmt_is_idempotent(self, subscription_file, capsys, tmp_path):
+        main(["fmt", subscription_file])
+        once = capsys.readouterr().out
+        second = tmp_path / "canon.xyl"
+        second.write_text(once)
+        main(["fmt", str(second)])
+        assert capsys.readouterr().out == once
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--sites", "3", "--days", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "documents fed" in out
+
+
+class TestMatch:
+    def test_match_micro_bench(self, capsys):
+        code = main(
+            [
+                "match",
+                "--engine", "aes",
+                "--card-a", "1000",
+                "--card-c", "1000",
+                "--docs", "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "us/doc" in out
+
+    def test_all_engines_accepted(self, capsys):
+        for engine in ("aes", "counting", "naive"):
+            assert main(
+                [
+                    "match",
+                    "--engine", engine,
+                    "--card-a", "200",
+                    "--card-c", "100",
+                    "--docs", "20",
+                ]
+            ) == 0
+
+
+class TestUsage:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "repro-monitor" in capsys.readouterr().out

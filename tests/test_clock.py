@@ -1,0 +1,53 @@
+import pytest
+
+from repro.clock import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_WEEK,
+    SimulatedClock,
+    WallClock,
+)
+
+
+class TestSimulatedClock:
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(start=123.0).now() == 123.0
+
+    def test_defaults_to_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = SimulatedClock(10.0)
+        clock.advance(5.0)
+        assert clock.now() == 15.0
+
+    def test_advance_days(self):
+        clock = SimulatedClock()
+        clock.advance_days(2)
+        assert clock.now() == 2 * SECONDS_PER_DAY
+
+    def test_advance_rejects_negative(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_set_time_forward(self):
+        clock = SimulatedClock(100.0)
+        clock.set_time(200.0)
+        assert clock.now() == 200.0
+
+    def test_set_time_rejects_past(self):
+        clock = SimulatedClock(100.0)
+        with pytest.raises(ValueError):
+            clock.set_time(50.0)
+
+
+class TestWallClock:
+    def test_returns_increasing_real_time(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first > 1_000_000_000  # after 2001
+
+
+def test_week_constant_consistency():
+    assert SECONDS_PER_WEEK == 7 * SECONDS_PER_DAY

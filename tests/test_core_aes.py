@@ -1,0 +1,159 @@
+import pytest
+
+from repro.core import AESMatcher, sort_event_set
+from repro.errors import MonitoringError
+
+
+class TestPaperFigure4Example:
+    """The worked example of Section 4.2 (Figure 4 data structure).
+
+    Complex events (codes chosen as in the figure):
+      c0:{a0} c10:{a1,a3} c201:{a1,a3,a4} c3:{a1,a3,a5} c43:{a1,a5,a6}
+      c25:{a1,a5,a8} c9:{a1,a7} c527:{a2} c4:{a5} c15:{a3}(under a3? no —
+      the figure's H-level a3 cell) ... we register the subset needed for
+      the two traced runs.
+    """
+
+    def setup_method(self):
+        self.matcher = AESMatcher()
+        events = {
+            10: [1, 3],
+            201: [1, 3, 4],
+            3: [1, 3, 5],
+            43: [1, 5, 6],
+            25: [1, 5, 8],
+            9: [1, 7],
+            527: [2],
+            4: [5],
+            64: [3, 8],  # "c?" {a3,a8} so the trace detects it
+            66: [8],     # {a8}
+        }
+        for code, atomic in events.items():
+            self.matcher.add(code, atomic)
+
+    def test_first_trace(self):
+        # S = {a1, a3, a8}: detects c10 {a1,a3}, c64 {a3,a8}, c66 {a8}.
+        assert sorted(self.matcher.match([1, 3, 8])) == [10, 64, 66]
+
+    def test_second_trace(self):
+        # The paper's second run: S = {a0, a5, a8} detects c4 and c25-less
+        # set; here {a5} -> c4, {a8} -> c66.
+        assert sorted(self.matcher.match([0, 5, 8])) == [4, 66]
+
+    def test_full_chain(self):
+        assert sorted(self.matcher.match([1, 3, 4, 5, 6, 7, 8])) == sorted(
+            [10, 201, 3, 43, 25, 9, 4, 64, 66]
+        )
+
+
+class TestBasics:
+    def test_empty_matcher_matches_nothing(self):
+        assert AESMatcher().match([1, 2, 3]) == []
+
+    def test_exact_set_matches(self):
+        matcher = AESMatcher()
+        matcher.add(7, [2, 5, 9])
+        assert matcher.match([2, 5, 9]) == [7]
+
+    def test_subset_does_not_match(self):
+        matcher = AESMatcher()
+        matcher.add(7, [2, 5, 9])
+        assert matcher.match([2, 5]) == []
+        assert matcher.match([5, 9]) == []
+
+    def test_superset_matches(self):
+        matcher = AESMatcher()
+        matcher.add(7, [2, 5])
+        assert matcher.match([1, 2, 3, 5, 8]) == [7]
+
+    def test_single_event_conjunction(self):
+        matcher = AESMatcher()
+        matcher.add(1, [4])
+        assert matcher.match([4]) == [1]
+        assert matcher.match([3, 4, 5]) == [1]
+
+    def test_multiple_marks_on_one_cell(self):
+        matcher = AESMatcher()
+        matcher.add(1, [2, 4])
+        matcher.add(2, [2, 4])
+        assert sorted(matcher.match([2, 4])) == [1, 2]
+
+    def test_unsorted_input_to_add_is_normalized(self):
+        matcher = AESMatcher()
+        matcher.add(1, [9, 2, 5])
+        assert matcher.match([2, 5, 9]) == [1]
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(MonitoringError):
+            AESMatcher().add(1, [])
+
+    def test_len_tracks_registrations(self):
+        matcher = AESMatcher()
+        matcher.add(1, [1])
+        matcher.add(2, [1, 2])
+        assert len(matcher) == 2
+
+
+class TestRemoval:
+    def test_removed_event_no_longer_matches(self):
+        matcher = AESMatcher()
+        matcher.add(1, [2, 4])
+        matcher.remove(1, [2, 4])
+        assert matcher.match([2, 4]) == []
+        assert len(matcher) == 0
+
+    def test_removal_keeps_siblings(self):
+        matcher = AESMatcher()
+        matcher.add(1, [2, 4])
+        matcher.add(2, [2, 4, 6])
+        matcher.remove(1, [2, 4])
+        assert matcher.match([2, 4, 6]) == [2]
+
+    def test_removal_prunes_empty_tables(self):
+        matcher = AESMatcher()
+        matcher.add(1, [2, 4, 6])
+        matcher.remove(1, [2, 4, 6])
+        stats = matcher.structure_stats()
+        assert stats["cells"] == 0
+
+    def test_removing_unknown_event_raises(self):
+        matcher = AESMatcher()
+        matcher.add(1, [2])
+        with pytest.raises(MonitoringError):
+            matcher.remove(9, [3, 4])
+
+    def test_removing_wrong_mark_raises(self):
+        matcher = AESMatcher()
+        matcher.add(1, [2, 4])
+        with pytest.raises(MonitoringError):
+            matcher.remove(999, [2, 4])
+
+    def test_add_remove_add_cycle(self):
+        matcher = AESMatcher()
+        for _ in range(3):
+            matcher.add(5, [1, 2, 3])
+            assert matcher.match([1, 2, 3]) == [5]
+            matcher.remove(5, [1, 2, 3])
+            assert matcher.match([1, 2, 3]) == []
+
+
+class TestStructureStats:
+    def test_marks_counted(self):
+        matcher = AESMatcher()
+        matcher.add(1, [1, 2])
+        matcher.add(2, [1, 2])
+        matcher.add(3, [1, 3])
+        stats = matcher.structure_stats()
+        assert stats["marks"] == 3
+
+    def test_prefix_sharing_reduces_cells(self):
+        shared = AESMatcher()
+        shared.add(1, [1, 2, 3])
+        shared.add(2, [1, 2, 4])
+        # prefixes (1) and (1,2) shared: cells = 1 + 1 + 2
+        assert shared.structure_stats()["cells"] == 4
+
+
+class TestSortEventSet:
+    def test_sorts_and_dedupes(self):
+        assert sort_event_set([5, 1, 5, 3]) == [1, 3, 5]

@@ -1,0 +1,94 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AESMatcher, SubsetAutomatonMatcher
+from repro.core.automaton import StateExplosionError
+from repro.errors import MonitoringError
+
+
+class TestMatching:
+    def test_exact_and_superset_match(self):
+        automaton = SubsetAutomatonMatcher()
+        automaton.add(1, [2, 5])
+        assert automaton.match([2, 5]) == [1]
+        assert automaton.match([1, 2, 3, 5, 9]) == [1]
+
+    def test_subset_does_not_match(self):
+        automaton = SubsetAutomatonMatcher()
+        automaton.add(1, [2, 5])
+        assert automaton.match([2]) == []
+        assert automaton.match([5]) == []
+
+    def test_multiple_chains(self):
+        automaton = SubsetAutomatonMatcher()
+        automaton.add(1, [1, 3])
+        automaton.add(2, [3, 4])
+        automaton.add(3, [2])
+        assert automaton.match([1, 2, 3, 4]) == [1, 2, 3]
+        assert automaton.match([3, 4]) == [2]
+
+    def test_remove(self):
+        automaton = SubsetAutomatonMatcher()
+        automaton.add(1, [1, 2])
+        automaton.remove(1, [1, 2])
+        assert automaton.match([1, 2]) == []
+        with pytest.raises(MonitoringError):
+            automaton.remove(1, [1, 2])
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(MonitoringError):
+            SubsetAutomatonMatcher().add(1, [])
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(0, 15), min_size=1, max_size=4, unique=True),
+        max_size=8,
+    ),
+    st.lists(st.integers(0, 15), max_size=10, unique=True),
+)
+def test_automaton_agrees_with_aes(events, detected):
+    automaton = SubsetAutomatonMatcher()
+    aes = AESMatcher()
+    for code, atomic in enumerate(events, start=1):
+        automaton.add(code, sorted(atomic))
+        aes.add(code, sorted(atomic))
+    detected = sorted(detected)
+    assert automaton.match(detected) == sorted(aes.match(detected))
+
+
+class TestStateExplosion:
+    def test_materialize_counts_states(self):
+        automaton = SubsetAutomatonMatcher()
+        automaton.add(1, [1, 2])
+        count = automaton.materialize(alphabet=[1, 2, 3])
+        assert count >= 3  # start, {chain@1}, {matched}
+
+    def test_states_grow_with_chains(self):
+        """More chains over a shared alphabet -> combinatorial states."""
+        counts = []
+        for chains in (2, 4, 6):
+            automaton = SubsetAutomatonMatcher()
+            alphabet = list(range(12))
+            for code in range(chains):
+                # Overlapping chains (every pair of symbols).
+                automaton.add(code + 1, [code, code + 2, code + 4])
+            counts.append(automaton.materialize(alphabet))
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_state_limit_enforced(self):
+        automaton = SubsetAutomatonMatcher(state_limit=50)
+        for code in range(12):
+            automaton.add(code + 1, [code, code + 3, code + 6, code + 9])
+        with pytest.raises(StateExplosionError):
+            automaton.materialize(alphabet=list(range(22)))
+
+    def test_lazy_matching_discovers_few_states(self):
+        """Matching only materializes states along actual words — the lazy
+        automaton is AES-like; the *full* DFA is what explodes."""
+        automaton = SubsetAutomatonMatcher()
+        for code in range(10):
+            automaton.add(code + 1, [code, code + 5])
+        automaton.match([0, 5])
+        assert automaton.discovered_states() <= 4

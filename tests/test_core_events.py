@@ -1,0 +1,128 @@
+import pytest
+
+from repro.core import AtomicEventKey, EventRegistry
+from repro.errors import MonitoringError, UnknownEventError
+
+
+def key(kind, argument=None):
+    return AtomicEventKey(kind, argument)
+
+
+class TestAtomicInterning:
+    def test_same_key_shares_code(self):
+        registry = EventRegistry()
+        a = registry.intern_atomic(key("url_extends", "http://x/"))
+        b = registry.intern_atomic(key("url_extends", "http://x/"))
+        assert a == b
+
+    def test_different_arguments_differ(self):
+        registry = EventRegistry()
+        a = registry.intern_atomic(key("url_extends", "http://x/"))
+        b = registry.intern_atomic(key("url_extends", "http://y/"))
+        assert a != b
+
+    def test_reverse_lookup(self):
+        registry = EventRegistry()
+        code = registry.intern_atomic(key("domain_eq", "biology"))
+        assert registry.atomic_key(code) == key("domain_eq", "biology")
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(UnknownEventError):
+            EventRegistry().atomic_key(99)
+
+    def test_weakness_classification(self):
+        assert key("doc_new").weak
+        assert key("doc_updated").weak
+        assert key("doc_unchanged").weak
+        assert not key("doc_deleted").weak
+        assert not key("url_extends", "x").weak
+
+
+class TestComplexRegistration:
+    def test_register_returns_sorted_codes(self):
+        registry = EventRegistry()
+        event = registry.register_complex(
+            [key("self_contains", "zz"), key("url_extends", "http://a/")]
+        )
+        assert list(event.atomic_codes) == sorted(event.atomic_codes)
+        assert event.size == 2
+
+    def test_duplicate_conditions_collapse(self):
+        registry = EventRegistry()
+        event = registry.register_complex(
+            [key("url_eq", "u"), key("url_eq", "u")]
+        )
+        assert event.size == 1
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(MonitoringError):
+            EventRegistry().register_complex([])
+
+    def test_weak_only_conjunction_rejected(self):
+        with pytest.raises(MonitoringError):
+            EventRegistry().register_complex([key("doc_new")])
+
+    def test_weak_plus_strong_accepted(self):
+        registry = EventRegistry()
+        event = registry.register_complex(
+            [key("doc_updated"), key("url_extends", "http://x/")]
+        )
+        assert event.size == 2
+
+    def test_complex_codes_unique(self):
+        registry = EventRegistry()
+        first = registry.register_complex([key("url_eq", "a")])
+        second = registry.register_complex([key("url_eq", "b")])
+        assert first.code != second.code
+
+
+class TestUnregistration:
+    def test_unregister_returns_event(self):
+        registry = EventRegistry()
+        event = registry.register_complex([key("url_eq", "a")])
+        removed = registry.unregister_complex(event.code)
+        assert removed == event
+        assert registry.complex_count() == 0
+
+    def test_unknown_unregister_raises(self):
+        with pytest.raises(UnknownEventError):
+            EventRegistry().unregister_complex(42)
+
+    def test_shared_atomic_event_survives_partial_removal(self):
+        registry = EventRegistry()
+        shared = key("url_extends", "http://x/")
+        first = registry.register_complex([shared, key("url_eq", "a")])
+        registry.register_complex([shared, key("url_eq", "b")])
+        registry.unregister_complex(first.code)
+        assert registry.atomic_code(shared) is not None
+
+    def test_atomic_event_retired_with_last_user(self):
+        registry = EventRegistry()
+        only = key("self_contains", "rare")
+        event = registry.register_complex([only])
+        registry.unregister_complex(event.code)
+        assert registry.atomic_code(only) is None
+        assert registry.atomic_count() == 0
+
+
+class TestPaperParameters:
+    def test_average_conjunction_size(self):
+        registry = EventRegistry()
+        registry.register_complex([key("url_eq", "a")])
+        registry.register_complex(
+            [key("url_eq", "b"), key("url_eq", "c"), key("url_eq", "d")]
+        )
+        assert registry.average_conjunction_size() == 2.0
+
+    def test_average_fanout_k(self):
+        registry = EventRegistry()
+        shared = key("url_extends", "http://amazon/")
+        registry.register_complex([shared, key("url_eq", "a")])
+        registry.register_complex([shared, key("url_eq", "b")])
+        # shared has fanout 2; "a" and "b" have fanout 1 -> k = 4/3.
+        assert registry.average_fanout() == pytest.approx(4 / 3)
+
+    def test_empty_registry_parameters(self):
+        registry = EventRegistry()
+        assert registry.average_conjunction_size() == 0.0
+        assert registry.average_fanout() == 0.0

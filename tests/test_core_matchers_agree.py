@@ -1,0 +1,100 @@
+"""Cross-validation of the three matcher engines.
+
+The AES matcher, the naive scan and the counting baseline implement the
+same specification (find all C_i ⊆ S); randomized and property-based tests
+check they never disagree, including across removals.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AESMatcher, CountingMatcher, NaiveMatcher
+
+ENGINES = [AESMatcher, NaiveMatcher, CountingMatcher]
+
+
+def all_engines():
+    return [factory() for factory in ENGINES]
+
+
+complex_event_lists = st.lists(
+    st.lists(
+        st.integers(0, 60), min_size=1, max_size=6, unique=True
+    ),
+    min_size=0,
+    max_size=40,
+)
+event_sets = st.lists(st.integers(0, 60), max_size=30, unique=True)
+
+
+@settings(max_examples=120, deadline=None)
+@given(complex_event_lists, event_sets)
+def test_engines_agree_on_matches(events, detected):
+    matchers = all_engines()
+    for code, atomic in enumerate(events, start=1):
+        for matcher in matchers:
+            matcher.add(code, sorted(atomic))
+    detected = sorted(detected)
+    results = [sorted(matcher.match(detected)) for matcher in matchers]
+    assert results[0] == results[1] == results[2]
+
+
+@settings(max_examples=60, deadline=None)
+@given(complex_event_lists, event_sets, st.randoms(use_true_random=False))
+def test_engines_agree_after_removals(events, detected, rng):
+    matchers = all_engines()
+    registered = {}
+    for code, atomic in enumerate(events, start=1):
+        registered[code] = sorted(atomic)
+        for matcher in matchers:
+            matcher.add(code, registered[code])
+    victims = [
+        code for code in registered if rng.random() < 0.5
+    ]
+    for code in victims:
+        for matcher in matchers:
+            matcher.remove(code, registered[code])
+        del registered[code]
+    detected = sorted(detected)
+    results = [sorted(matcher.match(detected)) for matcher in matchers]
+    assert results[0] == results[1] == results[2]
+
+
+@settings(max_examples=60, deadline=None)
+@given(complex_event_lists, event_sets)
+def test_match_against_reference_semantics(events, detected):
+    """AES equals the mathematical definition: {i : C_i ⊆ S}."""
+    matcher = AESMatcher()
+    for code, atomic in enumerate(events, start=1):
+        matcher.add(code, sorted(atomic))
+    detected_set = set(detected)
+    expected = sorted(
+        code
+        for code, atomic in enumerate(events, start=1)
+        if set(atomic) <= detected_set
+    )
+    assert sorted(matcher.match(sorted(detected))) == expected
+
+
+def test_randomized_large_agreement():
+    rng = random.Random(2024)
+    matchers = all_engines()
+    events = {}
+    for code in range(1, 2001):
+        atomic = sorted(rng.sample(range(500), rng.randint(1, 5)))
+        events[code] = atomic
+        for matcher in matchers:
+            matcher.add(code, atomic)
+    for _ in range(200):
+        detected = sorted(rng.sample(range(500), rng.randint(0, 50)))
+        results = [sorted(m.match(detected)) for m in matchers]
+        assert results[0] == results[1] == results[2]
+
+
+def test_structure_stats_exposed_by_all_engines():
+    for matcher in all_engines():
+        matcher.add(1, [1, 2])
+        stats = matcher.structure_stats()
+        assert {"tables", "cells", "marks"} <= set(stats)

@@ -1,0 +1,103 @@
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import (
+    Alert,
+    AtomicEventKey,
+    CountingMatcher,
+    MonitoringQueryProcessor,
+)
+
+
+def key(kind, argument=None):
+    return AtomicEventKey(kind, argument)
+
+
+@pytest.fixture
+def processor():
+    return MonitoringQueryProcessor(clock=SimulatedClock(500.0))
+
+
+class TestRegistration:
+    def test_register_then_match(self, processor):
+        event = processor.register(
+            [key("url_extends", "http://x/"), key("doc_updated")]
+        )
+        alert = Alert("http://x/p", sorted(event.atomic_codes))
+        notifications = processor.process_alert(alert)
+        assert [n.complex_code for n in notifications] == [event.code]
+
+    def test_notification_carries_url_time_and_data(self, processor):
+        event = processor.register([key("url_eq", "http://x/p")])
+        code = event.atomic_codes[0]
+        alert = Alert("http://x/p", [code], data={code: ["<x/>"]})
+        (notification,) = processor.process_alert(alert)
+        assert notification.document_url == "http://x/p"
+        assert notification.timestamp == 500.0
+        assert notification.data[code] == ["<x/>"]
+
+    def test_unregister_stops_matching(self, processor):
+        event = processor.register([key("url_eq", "a")])
+        processor.unregister(event.code)
+        alert = Alert("a", list(event.atomic_codes))
+        assert processor.process_alert(alert) == []
+
+    def test_shared_registry_interning(self, processor):
+        first = processor.register([key("url_eq", "a"), key("doc_updated")])
+        second = processor.register([key("url_eq", "a"), key("dtd_eq", "d")])
+        shared = set(first.atomic_codes) & set(second.atomic_codes)
+        assert len(shared) == 1
+
+
+class TestSinks:
+    def test_sink_receives_batch(self, processor):
+        event_a = processor.register([key("url_eq", "u")])
+        event_b = processor.register(
+            [key("url_eq", "u"), key("dtd_eq", "d")]
+        )
+        received = []
+        processor.add_sink(received.append)
+        codes = sorted(set(event_a.atomic_codes) | set(event_b.atomic_codes))
+        processor.process_alert(Alert("u", codes))
+        # One batch ("all the complex events ... are sent in one batch").
+        assert len(received) == 1
+        assert {n.complex_code for n in received[0]} == {
+            event_a.code,
+            event_b.code,
+        }
+
+    def test_sink_not_called_for_empty_match(self, processor):
+        processor.register([key("url_eq", "u")])
+        received = []
+        processor.add_sink(received.append)
+        processor.process_alert(Alert("other", [999]))
+        assert received == []
+
+
+class TestStats:
+    def test_counters(self, processor):
+        event = processor.register([key("url_eq", "u")])
+        processor.process_alert(Alert("u", list(event.atomic_codes)))
+        processor.process_alert(Alert("v", [9999]))
+        stats = processor.stats
+        assert stats.alerts_processed == 2
+        assert stats.notifications_sent == 1
+        assert stats.complex_registered == 1
+        assert stats.average_event_set_size == 1.0
+
+    def test_stats_dict(self, processor):
+        payload = processor.stats.as_dict()
+        assert "alerts_processed" in payload
+
+
+class TestPluggableEngine:
+    def test_counting_engine_behind_facade(self):
+        processor = MonitoringQueryProcessor(
+            matcher_factory=CountingMatcher
+        )
+        event = processor.register([key("url_eq", "u"), key("doc_updated")])
+        notifications = processor.process_alert(
+            Alert("u", sorted(event.atomic_codes))
+        )
+        assert len(notifications) == 1
+        assert processor.matcher.name == "counting"

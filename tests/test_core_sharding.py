@@ -1,0 +1,137 @@
+import pytest
+
+from repro.core import (
+    Alert,
+    AtomicEventKey,
+    FlowPartitionedProcessor,
+    SubscriptionPartitionedProcessor,
+)
+from repro.errors import MonitoringError
+
+
+def key(kind, argument=None):
+    return AtomicEventKey(kind, argument)
+
+
+def make_events(processor, count):
+    return [
+        processor.register(
+            [key("url_eq", f"http://site{i}/"), key("dtd_eq", f"d{i % 3}")]
+        )
+        for i in range(count)
+    ]
+
+
+class TestFlowPartitioning:
+    def test_every_shard_knows_every_subscription(self):
+        processor = FlowPartitionedProcessor(shard_count=4)
+        event = processor.register([key("url_eq", "u")])
+        for shard in processor.shards:
+            assert shard.matcher.match(list(event.atomic_codes)) == [
+                event.code
+            ]
+
+    def test_each_document_hits_exactly_one_shard(self):
+        processor = FlowPartitionedProcessor(shard_count=4)
+        event = processor.register([key("url_eq", "u")])
+        for url in [f"http://doc{i}/" for i in range(40)]:
+            processor.process_alert(Alert(url, list(event.atomic_codes)))
+        stats = processor.stats()
+        assert stats.alerts_processed == 40
+        per_shard = [s.stats.alerts_processed for s in processor.shards]
+        assert sum(per_shard) == 40
+        assert max(per_shard) < 40  # spread across shards
+
+    def test_routing_is_deterministic(self):
+        processor = FlowPartitionedProcessor(shard_count=4)
+        assert processor.shard_for("http://a/") == processor.shard_for(
+            "http://a/"
+        )
+
+    def test_match_results_equal_single_processor(self):
+        sharded = FlowPartitionedProcessor(shard_count=3)
+        event = sharded.register([key("url_eq", "u"), key("doc_updated")])
+        notifications = sharded.process_alert(
+            Alert("http://any/", sorted(event.atomic_codes))
+        )
+        assert [n.complex_code for n in notifications] == [event.code]
+
+    def test_unregister_removes_from_all_shards(self):
+        processor = FlowPartitionedProcessor(shard_count=3)
+        event = processor.register([key("url_eq", "u")])
+        processor.unregister(event.code)
+        for shard in processor.shards:
+            assert len(shard.matcher) == 0
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(MonitoringError):
+            FlowPartitionedProcessor(shard_count=0)
+
+
+class TestSubscriptionPartitioning:
+    def test_subscriptions_spread_across_shards(self):
+        processor = SubscriptionPartitionedProcessor(shard_count=4)
+        make_events(processor, 20)
+        sizes = [len(shard.matcher) for shard in processor.shards]
+        assert sum(sizes) == 20
+        assert max(sizes) == 5  # least-loaded placement balances exactly
+
+    def test_documents_visit_every_shard(self):
+        processor = SubscriptionPartitionedProcessor(shard_count=4)
+        events = make_events(processor, 8)
+        codes = sorted(
+            {code for event in events for code in event.atomic_codes}
+        )
+        notifications = processor.process_alert(Alert("http://d/", codes))
+        assert {n.complex_code for n in notifications} == {
+            event.code for event in events
+        }
+        for shard in processor.shards:
+            assert shard.stats.alerts_processed == 1
+
+    def test_unregister_from_home_shard(self):
+        processor = SubscriptionPartitionedProcessor(shard_count=2)
+        events = make_events(processor, 4)
+        processor.unregister(events[0].code)
+        assert sum(len(s.matcher) for s in processor.shards) == 3
+
+    def test_unregister_unknown_raises(self):
+        processor = SubscriptionPartitionedProcessor(shard_count=2)
+        with pytest.raises(MonitoringError):
+            processor.unregister(999)
+
+    def test_structure_stats_aggregate(self):
+        processor = SubscriptionPartitionedProcessor(shard_count=2)
+        make_events(processor, 6)
+        stats = processor.structure_stats()
+        assert stats["marks"] == 6
+
+
+class TestEquivalenceAcrossDistributions:
+    def test_all_three_layouts_agree(self):
+        specs = [
+            [key("url_eq", "u"), key("dtd_eq", "d")],
+            [key("url_eq", "u")],
+            [key("dtd_eq", "d"), key("domain_eq", "x")],
+        ]
+        flow = FlowPartitionedProcessor(shard_count=3)
+        partitioned = SubscriptionPartitionedProcessor(shard_count=3)
+        flow_events = [flow.register(s) for s in specs]
+        part_events = [partitioned.register(s) for s in specs]
+        # Build the alert in each registry's own code space.
+        flow_codes = sorted(
+            {c for e in flow_events[:2] for c in e.atomic_codes}
+        )
+        part_codes = sorted(
+            {c for e in part_events[:2] for c in e.atomic_codes}
+        )
+        flow_result = {
+            n.complex_code
+            for n in flow.process_alert(Alert("http://d/", flow_codes))
+        }
+        part_result = {
+            n.complex_code
+            for n in partitioned.process_alert(Alert("http://d/", part_codes))
+        }
+        assert flow_result == {flow_events[0].code, flow_events[1].code}
+        assert part_result == {part_events[0].code, part_events[1].code}

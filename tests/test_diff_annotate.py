@@ -1,0 +1,118 @@
+from repro.diff import (
+    XidSpace,
+    annotate_changes,
+    compute_delta,
+    render_text_diff,
+)
+from repro.diff.annotate import DELETED, INSERTED, STATUS_ATTR
+from repro.xmlstore import parse, serialize
+
+
+def annotated(old_source, new_source):
+    old = parse(old_source)
+    new = parse(new_source)
+    space = XidSpace()
+    space.assign_fresh(old.root)
+    delta = compute_delta(old, new, space)
+    return annotate_changes(old, new, delta), old, new
+
+
+class TestInsertions:
+    def test_inserted_element_marked(self):
+        merged, _, _ = annotated(
+            "<catalog><a/></catalog>",
+            "<catalog><a/><Product>camera</Product></catalog>",
+        )
+        product = merged.root.first("Product")
+        assert product.attributes[STATUS_ATTR] == INSERTED
+
+    def test_descendants_of_insert_not_double_marked(self):
+        merged, _, _ = annotated(
+            "<r/>", "<r><a><b>x</b></a></r>"
+        )
+        a = merged.root.first("a")
+        b = merged.root.first("b")
+        assert a.attributes.get(STATUS_ATTR) == INSERTED
+        assert STATUS_ATTR not in b.attributes
+
+
+class TestDeletions:
+    def test_deleted_element_reinserted_as_ghost(self):
+        merged, _, _ = annotated(
+            "<r><gone>old</gone><kept/></r>", "<r><kept/></r>"
+        )
+        ghost = merged.root.first("gone")
+        assert ghost is not None
+        assert ghost.attributes[STATUS_ATTR] == DELETED
+        assert ghost.text_content() == "old"
+
+    def test_deleted_at_roughly_original_position(self):
+        merged, _, _ = annotated(
+            "<r><first/><gone/><last/></r>", "<r><first/><last/></r>"
+        )
+        tags = [child.tag for child in merged.root.element_children()]
+        assert tags == ["first", "gone", "last"]
+
+
+class TestUpdates:
+    def test_text_update_shows_old_and_new(self):
+        merged, _, _ = annotated(
+            "<r><price>10</price></r>", "<r><price>12</price></r>"
+        )
+        update = merged.root.first("diff:update")
+        assert update.first("diff:old").text_content() == "10"
+        assert update.first("diff:new").text_content() == "12"
+
+    def test_attribute_update_recorded(self):
+        merged, _, _ = annotated('<r><a k="1"/></r>', '<r><a k="2"/></r>')
+        a = merged.root.first("a")
+        assert a.attributes["diff:attr-k"] == "1->2"
+
+    def test_untouched_content_unmarked(self):
+        merged, _, _ = annotated(
+            "<r><same>text</same><p>old</p></r>",
+            "<r><same>text</same><p>new</p></r>",
+        )
+        same = merged.root.first("same")
+        assert STATUS_ATTR not in same.attributes
+        assert serialize(same) == "<same>text</same>"
+
+
+class TestRenderTextDiff:
+    def test_plus_minus_lines(self):
+        merged, _, _ = annotated(
+            "<r><gone/><p>old</p></r>",
+            "<r><p>new</p><fresh/></r>",
+        )
+        text = render_text_diff(merged)
+        assert "- " in text and "+ " in text
+        assert any(
+            line.startswith("- ") and "gone" in line
+            for line in text.splitlines()
+        )
+        assert any(
+            line.startswith("+ ") and "fresh" in line
+            for line in text.splitlines()
+        )
+
+    def test_update_renders_both_values(self):
+        merged, _, _ = annotated(
+            "<r><p>old</p></r>", "<r><p>new</p></r>"
+        )
+        lines = render_text_diff(merged).splitlines()
+        assert any(line.startswith("- ") and "old" in line for line in lines)
+        assert any(line.startswith("+ ") and "new" in line for line in lines)
+
+    def test_unchanged_lines_neutral(self):
+        merged, _, _ = annotated("<r><same/></r>", "<r><same/></r>")
+        lines = render_text_diff(merged).splitlines()
+        assert all(line.startswith("  ") for line in lines)
+
+
+class TestInputsUntouched:
+    def test_old_and_new_not_modified(self):
+        old_source = "<r><a>1</a></r>"
+        new_source = "<r><a>2</a><b/></r>"
+        merged, old, new = annotated(old_source, new_source)
+        assert serialize(old) == old_source
+        assert serialize(new) == new_source

@@ -1,0 +1,126 @@
+"""Property-based tests of the versioning invariants (hypothesis).
+
+The invariants the repository relies on:
+
+* ``apply_delta(old, compute_delta(old, new)) == new`` (reconstruction);
+* ``apply_delta(new, delta.inverted()) == old`` (bidirectional chains);
+* matched nodes keep XIDs, inserted nodes get fresh ones, never duplicated.
+"""
+
+import random
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.diff import XidSpace, apply_delta, compute_delta, copy_document
+from repro.xmlstore import parse, serialize
+from repro.xmlstore.nodes import Document, ElementNode, TextNode
+
+tags = st.sampled_from(["a", "b", "c", "item", "Product"])
+words = st.sampled_from(["one", "two", "camera", "xml", "price"])
+
+
+@st.composite
+def documents(draw, depth=3):
+    def build(level):
+        element = ElementNode(draw(tags))
+        if draw(st.booleans()):
+            element.attributes["k"] = draw(words)
+        count = draw(st.integers(0, 3)) if level < depth else 0
+        for _ in range(count):
+            if draw(st.booleans()):
+                element.append(TextNode(draw(words)))
+            else:
+                element.append(build(level + 1))
+        return element
+
+    root = ElementNode("root")
+    for _ in range(draw(st.integers(0, 4))):
+        root.append(build(1))
+    return Document(root)
+
+
+@st.composite
+def edit_seeds(draw):
+    return draw(st.integers(0, 2**31))
+
+
+def mutate(document, seed):
+    """Random structural edits applied to a copy (no xid hygiene needed —
+    compute_delta only reads xids from the OLD document)."""
+    rng = random.Random(seed)
+    result = copy_document(document)
+    for node in result.preorder():
+        node.xid = None
+    elements = [
+        n for n in result.preorder() if isinstance(n, ElementNode)
+    ]
+    for _ in range(rng.randint(0, 5)):
+        action = rng.choice(("insert", "delete", "retext", "attr"))
+        elements = [
+            n for n in result.preorder() if isinstance(n, ElementNode)
+        ]
+        if action == "insert":
+            parent = rng.choice(elements)
+            child = ElementNode(rng.choice(["a", "b", "new"]))
+            child.append(TextNode(rng.choice(["x", "y"])))
+            parent.insert(rng.randint(0, len(parent.children)), child)
+        elif action == "delete":
+            candidates = [n for n in elements if n.parent is not None]
+            if candidates:
+                rng.choice(candidates).detach()
+        elif action == "retext":
+            texts = [
+                n for n in result.preorder() if isinstance(n, TextNode)
+            ]
+            if texts:
+                rng.choice(texts).data = rng.choice(["p", "q", "zz"])
+        else:
+            target = rng.choice(elements)
+            target.attributes["k"] = rng.choice(["1", "2", "3"])
+    return result
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents(), edit_seeds())
+def test_reconstruction_roundtrip(old, seed):
+    new = mutate(old, seed)
+    space = XidSpace()
+    space.assign_fresh(old.root)
+    delta = compute_delta(old, new, space)
+    assert serialize(apply_delta(old, delta)) == serialize(new)
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents(), edit_seeds())
+def test_inversion_roundtrip(old, seed):
+    new = mutate(old, seed)
+    space = XidSpace()
+    space.assign_fresh(old.root)
+    delta = compute_delta(old, new, space)
+    assert serialize(apply_delta(new, delta.inverted())) == serialize(old)
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents(), edit_seeds())
+def test_new_document_xids_unique_and_complete(old, seed):
+    new = mutate(old, seed)
+    space = XidSpace()
+    space.assign_fresh(old.root)
+    compute_delta(old, new, space)
+    xids = [n.xid for n in new.preorder()]
+    assert all(x is not None for x in xids)
+    assert len(xids) == len(set(xids))
+
+
+@settings(max_examples=40, deadline=None)
+@given(documents())
+def test_identical_documents_give_empty_delta(old):
+    # Canonicalize first: the strategy may produce adjacent text nodes,
+    # which parsing folds into one.
+    old = parse(serialize(old))
+    twin = parse(serialize(old))
+    space = XidSpace()
+    space.assign_fresh(old.root)
+    delta = compute_delta(old, twin, space)
+    assert not delta

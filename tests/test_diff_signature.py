@@ -1,0 +1,73 @@
+from repro.diff.signature import (
+    document_signature,
+    page_signature,
+    subtree_signatures,
+)
+from repro.xmlstore import parse
+
+
+class TestDocumentSignature:
+    def test_identical_documents_same_signature(self):
+        a = parse("<r><x>1</x></r>")
+        b = parse("<r><x>1</x></r>")
+        assert document_signature(a) == document_signature(b)
+
+    def test_text_change_changes_signature(self):
+        a = parse("<r><x>1</x></r>")
+        b = parse("<r><x>2</x></r>")
+        assert document_signature(a) != document_signature(b)
+
+    def test_attribute_change_changes_signature(self):
+        a = parse('<r k="1"/>')
+        b = parse('<r k="2"/>')
+        assert document_signature(a) != document_signature(b)
+
+    def test_attribute_order_irrelevant(self):
+        a = parse('<r a="1" b="2"/>')
+        b = parse('<r b="2" a="1"/>')
+        assert document_signature(a) == document_signature(b)
+
+    def test_child_order_matters(self):
+        a = parse("<r><x/><y/></r>")
+        b = parse("<r><y/><x/></r>")
+        assert document_signature(a) != document_signature(b)
+
+    def test_tag_rename_changes_signature(self):
+        assert document_signature(parse("<r><x/></r>")) != document_signature(
+            parse("<r><z/></r>")
+        )
+
+
+class TestSubtreeSignatures:
+    def test_every_node_has_a_signature(self):
+        doc = parse("<r><a>t</a><b/></r>")
+        signatures = subtree_signatures(doc.root)
+        assert len(signatures) == len(list(doc.preorder()))
+
+    def test_identical_subtrees_share_signature(self):
+        doc = parse("<r><a><x>1</x></a><b><x>1</x></b></r>")
+        signatures = subtree_signatures(doc.root)
+        a, b = doc.root.children
+        assert signatures[id(a.children[0])] == signatures[id(b.children[0])]
+
+    def test_element_and_text_never_collide_on_content(self):
+        doc = parse("<r><t>abc</t></r>")
+        signatures = subtree_signatures(doc.root)
+        element = doc.root.children[0]
+        text = element.children[0]
+        assert signatures[id(element)] != signatures[id(text)]
+
+
+class TestPageSignature:
+    def test_stable(self):
+        assert page_signature("<html>x</html>") == page_signature(
+            "<html>x</html>"
+        )
+
+    def test_sensitive_to_any_change(self):
+        assert page_signature("<html>x</html>") != page_signature(
+            "<html>y</html>"
+        )
+
+    def test_handles_unicode(self):
+        assert isinstance(page_signature("héllo ✓"), int)

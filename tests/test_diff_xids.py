@@ -1,0 +1,89 @@
+import pytest
+
+from repro.diff.xids import (
+    XidSpace,
+    index_by_xid,
+    max_xid,
+    require_xid,
+    space_for,
+)
+from repro.errors import DiffError
+from repro.xmlstore import parse
+
+
+class TestXidSpace:
+    def test_allocations_increase(self):
+        space = XidSpace()
+        assert space.allocate() == 1
+        assert space.allocate() == 2
+
+    def test_assign_fresh_covers_all_nodes(self):
+        doc = parse("<a><b>t</b><c/></a>")
+        XidSpace().assign_fresh(doc.root)
+        assert all(node.xid is not None for node in doc.preorder())
+
+    def test_assign_fresh_is_preorder(self):
+        doc = parse("<a><b/><c/></a>")
+        XidSpace().assign_fresh(doc.root)
+        b, c = doc.root.children
+        assert doc.root.xid < b.xid < c.xid
+
+    def test_assign_missing_only_fills_gaps(self):
+        doc = parse("<a><b/></a>")
+        space = XidSpace()
+        doc.root.xid = space.allocate()
+        assigned = space.assign_missing(doc.root)
+        assert assigned == 1
+        assert doc.root.children[0].xid == 2
+
+    def test_next_xid_property(self):
+        space = XidSpace(first_xid=5)
+        assert space.next_xid == 5
+        space.allocate()
+        assert space.next_xid == 6
+
+
+class TestIndexing:
+    def test_index_by_xid(self):
+        doc = parse("<a><b/></a>")
+        XidSpace().assign_fresh(doc.root)
+        index = index_by_xid(doc)
+        assert index[doc.root.xid] is doc.root
+
+    def test_duplicate_xids_rejected(self):
+        doc = parse("<a><b/></a>")
+        doc.root.xid = 1
+        doc.root.children[0].xid = 1
+        with pytest.raises(DiffError):
+            index_by_xid(doc)
+
+    def test_unidentified_nodes_skipped(self):
+        doc = parse("<a><b/></a>")
+        doc.root.xid = 7
+        index = index_by_xid(doc)
+        assert list(index) == [7]
+
+    def test_require_xid(self):
+        doc = parse("<a/>")
+        with pytest.raises(DiffError):
+            require_xid(doc.root)
+        doc.root.xid = 3
+        assert require_xid(doc.root) == 3
+
+
+class TestSpaceFor:
+    def test_max_xid(self):
+        doc = parse("<a><b/></a>")
+        doc.root.xid = 3
+        doc.root.children[0].xid = 9
+        assert max_xid(doc) == 9
+
+    def test_space_for_starts_above_existing(self):
+        doc = parse("<a/>")
+        doc.root.xid = 41
+        assert space_for(doc).allocate() == 42
+
+    def test_space_for_respects_declared_next(self):
+        doc = parse("<a/>")
+        doc.root.xid = 5
+        assert space_for(doc, declared_next=100).allocate() == 100

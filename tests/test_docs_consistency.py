@@ -1,0 +1,91 @@
+"""Documentation stays in sync with the code it describes."""
+
+import os
+import re
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(relative):
+    with open(os.path.join(ROOT, relative), encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestDesignDocument:
+    def test_every_bench_in_design_exists(self):
+        design = read("DESIGN.md")
+        for match in re.finditer(r"benchmarks/(bench_\w+\.py)", design):
+            path = os.path.join(ROOT, "benchmarks", match.group(1))
+            assert os.path.exists(path), f"{match.group(1)} listed but absent"
+
+    def test_every_module_in_design_importable(self):
+        import importlib
+
+        design = read("DESIGN.md")
+        for name in sorted(set(re.findall(r"`(repro(?:\.\w+)+)`", design))):
+            try:
+                importlib.import_module(name)
+            except ModuleNotFoundError:
+                # Dotted references may name a class inside a module.
+                parent, _, attribute = name.rpartition(".")
+                module = importlib.import_module(parent)
+                assert hasattr(module, attribute), f"{name} does not exist"
+
+
+class TestReadme:
+    def test_every_bench_file_mentioned(self):
+        readme = read("README.md")
+        import glob
+
+        for path in glob.glob(os.path.join(ROOT, "benchmarks", "bench_*.py")):
+            assert os.path.basename(path) in readme, (
+                f"{os.path.basename(path)} missing from README bench table"
+            )
+
+    def test_every_example_mentioned(self):
+        readme = read("README.md")
+        import glob
+
+        for path in glob.glob(os.path.join(ROOT, "examples", "*.py")):
+            assert os.path.basename(path) in readme
+
+    def test_quickstart_snippet_runs(self, system):
+        # The README's quickstart subscription must actually parse.
+        readme = read("README.md")
+        match = re.search(
+            r'system\.subscribe\("""(.+?)"""', readme, re.DOTALL
+        )
+        assert match is not None
+        system.subscribe(match.group(1), owner_email="readme@example.org")
+
+
+class TestExperimentsDocument:
+    def test_every_experiment_has_a_bench(self):
+        experiments = read("EXPERIMENTS.md")
+        for match in re.finditer(r"`(bench_\w+\.py)`", experiments):
+            path = os.path.join(ROOT, "benchmarks", match.group(1))
+            assert os.path.exists(path)
+
+    def test_summary_table_covers_core_experiments(self):
+        experiments = read("EXPERIMENTS.md")
+        for experiment in ("Fig 5", "Fig 6", "T-c", "T-thr", "T-mem",
+                           "T-base", "T-fsa", "T-url", "T-xml", "T-rep",
+                           "T-dist", "T-load", "T-sub"):
+            assert experiment in experiments
+
+
+class TestLanguageReference:
+    def test_grammar_examples_parse(self):
+        from repro.language import parse_subscription
+
+        # The reference's canonical shapes.
+        parse_subscription(
+            'subscription S\nmonitoring\nselect <UpdatedPage url=URL/>\n'
+            'where URL extends "http://inria.fr/Xy/"\n  and modified self\n'
+            "report when immediate"
+        )
+
+    def test_language_doc_exists(self):
+        assert "subscription" in read("docs/LANGUAGE.md")

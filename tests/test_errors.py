@@ -1,0 +1,58 @@
+"""The exception hierarchy: every subsystem error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.XMLError,
+            errors.XMLSyntaxError,
+            errors.PathSyntaxError,
+            errors.DiffError,
+            errors.DeltaApplyError,
+            errors.MiniSQLError,
+            errors.SchemaError,
+            errors.QueryError,
+            errors.RepositoryError,
+            errors.DocumentNotFound,
+            errors.MonitoringError,
+            errors.UnknownEventError,
+            errors.SubscriptionError,
+            errors.SubscriptionSyntaxError,
+            errors.WeakConditionError,
+            errors.ResourceLimitError,
+            errors.ReportingError,
+            errors.TriggerError,
+        ],
+    )
+    def test_is_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_catch_all_surface(self):
+        """One except clause covers any library failure."""
+        from repro.xmlstore import parse
+
+        with pytest.raises(errors.ReproError):
+            parse("<broken")
+
+    def test_syntax_errors_carry_positions(self):
+        error = errors.XMLSyntaxError("bad", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_subscription_syntax_positions(self):
+        error = errors.SubscriptionSyntaxError("bad", line=2, column=5)
+        assert "line 2" in str(error)
+
+    def test_positions_optional(self):
+        error = errors.XMLSyntaxError("bad")
+        assert str(error) == "bad"
+
+    def test_state_explosion_is_monitoring_error(self):
+        from repro.core import StateExplosionError
+
+        assert issubclass(StateExplosionError, errors.MonitoringError)

@@ -1,0 +1,66 @@
+from repro.ids import InternedCodes, SequentialIdAllocator
+
+
+class TestSequentialIdAllocator:
+    def test_allocates_dense_sequence(self):
+        allocator = SequentialIdAllocator()
+        assert [allocator.allocate() for _ in range(3)] == [0, 1, 2]
+
+    def test_start_offset(self):
+        assert SequentialIdAllocator(start=10).allocate() == 10
+
+    def test_released_ids_are_reused(self):
+        allocator = SequentialIdAllocator()
+        first = allocator.allocate()
+        allocator.allocate()
+        allocator.release(first)
+        assert allocator.allocate() == first
+
+    def test_reuse_can_be_disabled(self):
+        allocator = SequentialIdAllocator(reuse_freed=False)
+        first = allocator.allocate()
+        allocator.release(first)
+        assert allocator.allocate() == first + 1
+
+    def test_high_water_mark(self):
+        allocator = SequentialIdAllocator()
+        for _ in range(5):
+            allocator.allocate()
+        assert allocator.high_water_mark == 5
+
+
+class TestInternedCodes:
+    def test_same_key_same_code(self):
+        codes = InternedCodes()
+        assert codes.intern("a") == codes.intern("a")
+
+    def test_distinct_keys_distinct_codes(self):
+        codes = InternedCodes()
+        assert codes.intern("a") != codes.intern("b")
+
+    def test_reverse_lookup(self):
+        codes = InternedCodes()
+        code = codes.intern(("url_extends", "http://x/"))
+        assert codes.key_for(code) == ("url_extends", "http://x/")
+
+    def test_code_for_unknown_is_none(self):
+        assert InternedCodes().code_for("missing") is None
+
+    def test_contains_and_len(self):
+        codes = InternedCodes()
+        codes.intern("a")
+        assert "a" in codes
+        assert "b" not in codes
+        assert len(codes) == 1
+
+    def test_release_frees_code_for_reuse(self):
+        codes = InternedCodes()
+        code = codes.intern("a")
+        codes.release("a")
+        assert "a" not in codes
+        assert codes.intern("b") == code
+
+    def test_release_unknown_is_noop(self):
+        codes = InternedCodes()
+        codes.release("never-seen")
+        assert len(codes) == 0

@@ -1,0 +1,129 @@
+import pytest
+
+from repro.errors import SubscriptionError
+from repro.language import condition_event_key, last_tag_of_path
+from repro.language.ast import AtomicCondition, FromBinding
+from repro.language.conditions import (
+    URL_ALERTER_KINDS,
+    XML_ALERTER_KINDS,
+    resolve_target_tag,
+)
+
+
+class TestTargetResolution:
+    def test_last_tag_of_simple_path(self):
+        assert last_tag_of_path("self//Member") == "Member"
+        assert last_tag_of_path("catalog/Product") == "Product"
+
+    def test_last_tag_rejects_self_only(self):
+        with pytest.raises(SubscriptionError):
+            last_tag_of_path("self")
+        with pytest.raises(SubscriptionError):
+            last_tag_of_path("a/*")
+
+    def test_variable_resolves_through_binding(self):
+        bindings = [FromBinding(path="self//Member", variable="X")]
+        assert resolve_target_tag("X", bindings) == "Member"
+
+    def test_literal_tag_passes_through(self):
+        assert resolve_target_tag("Product", []) == "Product"
+
+
+class TestKeyMapping:
+    def test_url_extends(self):
+        key = condition_event_key(
+            AtomicCondition(kind="url_extends", string="http://x/")
+        )
+        assert key.kind == "url_extends"
+        assert key.argument == "http://x/"
+
+    def test_integer_ids_coerced(self):
+        key = condition_event_key(
+            AtomicCondition(kind="dtdid_eq", number=7.0)
+        )
+        assert key.argument == 7 and isinstance(key.argument, int)
+
+    def test_dates_keep_comparator(self):
+        key = condition_event_key(
+            AtomicCondition(
+                kind="last_update", comparator=">=", number=990403200.0
+            )
+        )
+        assert key.argument == (">=", 990403200.0)
+
+    def test_self_contains_normalized(self):
+        key = condition_event_key(
+            AtomicCondition(kind="self_contains", string="CaMeRa")
+        )
+        assert key.argument == "camera"
+
+    def test_doc_status_keys(self):
+        for change_kind, expected in [
+            ("new", "doc_new"),
+            ("updated", "doc_updated"),
+            ("unchanged", "doc_unchanged"),
+            ("deleted", "doc_deleted"),
+        ]:
+            key = condition_event_key(
+                AtomicCondition(kind="doc_status", change_kind=change_kind)
+            )
+            assert key.kind == expected
+
+    def test_element_condition_with_variable(self):
+        bindings = [FromBinding(path="self//Member", variable="X")]
+        key = condition_event_key(
+            AtomicCondition(kind="element", target="X", change_kind="new"),
+            bindings,
+        )
+        assert key.kind == "tag_new"
+        assert key.argument == ("Member", None, False)
+
+    def test_element_condition_with_word_and_strict(self):
+        key = condition_event_key(
+            AtomicCondition(
+                kind="element",
+                target="category",
+                change_kind=None,
+                string="Hi-Fi",
+                strict=True,
+            )
+        )
+        assert key.kind == "tag_present"
+        assert key.argument == ("category", "hi-fi", True)
+
+    def test_same_condition_same_key(self):
+        condition = AtomicCondition(kind="url_eq", string="http://a/")
+        assert condition_event_key(condition) == condition_event_key(
+            condition
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SubscriptionError):
+            condition_event_key(AtomicCondition(kind="martian"))
+
+
+class TestAlerterRouting:
+    def test_kind_families_are_disjoint(self):
+        assert not (URL_ALERTER_KINDS & XML_ALERTER_KINDS)
+
+    def test_every_mapped_kind_has_an_alerter(self):
+        conditions = [
+            AtomicCondition(kind="url_extends", string="http://abcdef/"),
+            AtomicCondition(kind="url_eq", string="u"),
+            AtomicCondition(kind="filename_eq", string="f"),
+            AtomicCondition(kind="dtd_eq", string="d"),
+            AtomicCondition(kind="dtdid_eq", number=1),
+            AtomicCondition(kind="docid_eq", number=1),
+            AtomicCondition(kind="domain_eq", string="bio"),
+            AtomicCondition(kind="last_accessed", comparator="<", number=1.0),
+            AtomicCondition(kind="last_update", comparator=">", number=1.0),
+            AtomicCondition(kind="self_contains", string="w"),
+            AtomicCondition(kind="doc_status", change_kind="new"),
+            AtomicCondition(kind="element", target="t"),
+            AtomicCondition(kind="element", target="t", change_kind="new"),
+            AtomicCondition(kind="element", target="t", change_kind="updated"),
+            AtomicCondition(kind="element", target="t", change_kind="deleted"),
+        ]
+        for condition in conditions:
+            key = condition_event_key(condition)
+            assert key.kind in URL_ALERTER_KINDS | XML_ALERTER_KINDS

@@ -1,0 +1,87 @@
+"""Disjunctions of atomic conditions — the paper's future-work extension
+("one might also consider ... complex events that would include
+disjunctions of atomic conditions", Conclusion)."""
+
+import pytest
+
+from repro.errors import WeakConditionError
+from repro.language import parse_subscription, validate_subscription
+
+SOURCE = """
+subscription Either
+monitoring Hit
+select <Hit url=URL/>
+where URL extends "http://site-a.example/" and modified self
+   or URL extends "http://site-b.example/"
+report when immediate
+"""
+
+
+class TestParsing:
+    def test_disjuncts_split(self):
+        subscription = parse_subscription(SOURCE)
+        query = subscription.monitoring[0]
+        assert len(query.conditions) == 2       # first conjunction
+        assert len(query.extra_disjuncts) == 1
+        assert len(query.extra_disjuncts[0]) == 1
+        assert len(query.all_disjuncts()) == 2
+
+    def test_single_conjunction_has_no_extras(self):
+        subscription = parse_subscription(
+            "subscription S\nmonitoring\nselect X\nfrom self//a X\n"
+            'where URL = "http://u/"\nreport when immediate'
+        )
+        assert subscription.monitoring[0].extra_disjuncts == ()
+
+    def test_each_disjunct_must_have_a_strong_condition(self):
+        weak_second = """
+        subscription Bad
+        monitoring
+        select X
+        from self//a X
+        where URL extends "http://site.example/" or modified self
+        report when immediate
+        """
+        with pytest.raises(WeakConditionError):
+            validate_subscription(parse_subscription(weak_second))
+
+
+class TestEndToEnd:
+    def test_either_site_triggers(self, system):
+        system.subscribe(SOURCE, owner_email="u@x")
+        a = system.feed_xml("http://site-a.example/page.xml", "<r/>")
+        b = system.feed_xml("http://site-b.example/page.xml", "<r/>")
+        # site-a requires "modified self" too: a brand-new page does not
+        # satisfy the first disjunct; site-b matches outright.
+        assert a.notifications == []
+        assert len(b.notifications) == 1
+
+        # Refetch site-a with a change: now the first disjunct holds.
+        system.clock.advance(60)
+        changed = system.feed_xml(
+            "http://site-a.example/page.xml", "<r><x/></r>"
+        )
+        assert len(changed.notifications) == 1
+
+    def test_document_matching_both_disjuncts_notifies_once(self, system):
+        both = """
+        subscription Both
+        monitoring Hit
+        select <Hit url=URL/>
+        where URL extends "http://dual.example/"
+           or filename = "page.xml"
+        report when count >= 99
+        """
+        sub_id = system.subscribe(both, owner_email="u@x")
+        result = system.feed_xml("http://dual.example/page.xml", "<r/>")
+        # Two complex events matched ...
+        assert len(result.notifications) == 2
+        # ... but the report buffer received exactly one notification.
+        assert system.reporter.pending_count(sub_id) == 1
+
+    def test_unsubscribe_releases_every_disjunct(self, system):
+        sub_id = system.subscribe(SOURCE, owner_email="u@x")
+        system.unsubscribe(sub_id)
+        assert len(system.processor.matcher) == 0
+        result = system.feed_xml("http://site-b.example/p.xml", "<r/>")
+        assert result.alert is None

@@ -1,0 +1,32 @@
+import pytest
+
+from repro.clock import SECONDS_PER_DAY, SECONDS_PER_WEEK
+from repro.errors import SubscriptionSyntaxError
+from repro.language import period_seconds
+from repro.language.frequencies import FREQUENCY_WORDS
+
+
+class TestPeriods:
+    def test_daily(self):
+        assert period_seconds("daily") == SECONDS_PER_DAY
+
+    def test_weekly(self):
+        assert period_seconds("weekly") == SECONDS_PER_WEEK
+
+    def test_biweekly_means_twice_a_week(self):
+        # The paper's gloss: "try biweekly ... twice a week".
+        assert period_seconds("biweekly") == SECONDS_PER_WEEK / 2
+
+    def test_monthly_is_thirty_days(self):
+        assert period_seconds("monthly") == 30 * SECONDS_PER_DAY
+
+    def test_hourly(self):
+        assert period_seconds("hourly") == 3600.0
+
+    def test_unknown_frequency_rejected(self):
+        with pytest.raises(SubscriptionSyntaxError):
+            period_seconds("fortnightly")
+
+    def test_word_set_matches_periods(self):
+        for word in FREQUENCY_WORDS:
+            assert period_seconds(word) > 0

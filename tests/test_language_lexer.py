@@ -1,0 +1,101 @@
+import pytest
+
+from repro.errors import SubscriptionSyntaxError
+from repro.language.lexer import (
+    CMP,
+    NUMBER,
+    PUNCT,
+    STRING,
+    TEMPLATE,
+    WORD,
+    tokenize,
+)
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)]
+
+
+class TestWords:
+    def test_simple_words(self):
+        assert values("subscription MyXyleme") == [
+            "subscription", "MyXyleme",
+        ]
+
+    def test_word_with_slashes(self):
+        # Binding paths like self//Member lex as one word.
+        assert values("from self//Member X") == ["from", "self//Member", "X"]
+
+    def test_dotted_names_split(self):
+        assert kinds("Sub.Query") == [WORD, PUNCT, WORD]
+
+
+class TestLiterals:
+    def test_double_and_single_quoted_strings(self):
+        assert values('"abc" \'def\'') == ["abc", "def"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SubscriptionSyntaxError):
+            tokenize('"oops')
+
+    def test_numbers(self):
+        assert kinds("100 2.5") == [NUMBER, NUMBER]
+
+    def test_number_then_dot_word(self):
+        # "100.count" must not swallow the dot into the number.
+        assert kinds("100.count") == [NUMBER, PUNCT, WORD]
+
+
+class TestComparators:
+    def test_all_comparators(self):
+        assert kinds("= != < <= > >=") == [CMP] * 6
+
+    def test_two_character_comparators_win(self):
+        assert values("<=") == ["<="]
+
+
+class TestComments:
+    def test_percent_comment_to_eol(self):
+        assert values("report % a comment here\nwhen") == ["report", "when"]
+
+    def test_comment_at_end_of_input(self):
+        assert values("when % trailing") == ["when"]
+
+
+class TestTemplates:
+    def test_self_closing_template(self):
+        tokens = tokenize("select <UpdatedPage url=URL/> where")
+        assert tokens[1].kind == TEMPLATE
+        assert tokens[1].value == "<UpdatedPage url=URL/>"
+        assert tokens[2].value == "where"
+
+    def test_nested_template(self):
+        tokens = tokenize("select <a><b>x</b></a> where")
+        assert tokens[1].value == "<a><b>x</b></a>"
+
+    def test_template_with_quoted_angle_bracket(self):
+        tokens = tokenize('select <a note="x > y"/> where')
+        assert tokens[1].value == '<a note="x > y"/>'
+
+    def test_template_only_after_select(self):
+        # "<" elsewhere is a comparator, not a template opener.
+        assert kinds("count < 10") == [WORD, CMP, NUMBER]
+
+    def test_unterminated_template(self):
+        with pytest.raises(SubscriptionSyntaxError):
+            tokenize("select <a><b>")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens] == [1, 2, 3]
+
+    def test_source_spans_allow_slicing(self):
+        source = "select x from y"
+        tokens = tokenize(source)
+        assert source[tokens[0].start : tokens[-1].end] == source

@@ -1,0 +1,216 @@
+"""Round-trip tests: parse(unparse(ast)) == ast (modulo raw query text)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.language import parse_subscription, unparse
+from repro.language.ast import (
+    AtomicCondition,
+    ContinuousQuery,
+    CountCondition,
+    FromBinding,
+    ImmediateCondition,
+    MonitoringQuery,
+    NotificationTrigger,
+    PeriodicCondition,
+    RefreshStatement,
+    ReportCondition,
+    ReportSpec,
+    SelectSpec,
+    Subscription,
+    VirtualReference,
+)
+
+PAPER_SOURCE = """
+subscription MyXyleme
+monitoring UpdatedPage
+select <UpdatedPage url=URL/>
+where URL extends "http://inria.fr/Xy/"
+  and updated self
+monitoring NewMember
+select X
+from self//Member X
+where URL = "http://inria.fr/Xy/members.xml"
+  and new X
+continuous delta ReferenceXyleme
+select s/url from refs/site s where s contains "xyleme"
+when biweekly
+refresh "http://inria.fr/Xy/members.xml" weekly
+report
+when count >= 100 or weekly
+atmost 500
+archive monthly
+"""
+
+
+class TestRoundTrip:
+    def test_paper_subscription_roundtrips(self):
+        first = parse_subscription(PAPER_SOURCE)
+        second = parse_subscription(unparse(first))
+        assert second == first
+
+    def test_unparse_is_stable(self):
+        ast = parse_subscription(PAPER_SOURCE)
+        once = unparse(ast)
+        twice = unparse(parse_subscription(once))
+        assert once == twice
+
+    def test_disjunction_roundtrips(self):
+        source = (
+            "subscription D\nmonitoring\nselect X\nfrom self//a X\n"
+            'where URL extends "http://long-a.example/" and modified self\n'
+            '   or URL extends "http://long-b.example/"\n'
+            "report when immediate"
+        )
+        ast = parse_subscription(source)
+        assert parse_subscription(unparse(ast)) == ast
+
+    def test_notification_trigger_roundtrips(self):
+        source = (
+            "subscription T\n"
+            "monitoring M\nselect <Hit url=URL/>\n"
+            'where URL = "http://u/" and modified self\n'
+            "continuous CQ\nselect a/b from d/a a\nwhen T.M\n"
+            "report when immediate"
+        )
+        ast = parse_subscription(source)
+        assert parse_subscription(unparse(ast)) == ast
+
+
+# -- property-based roundtrip over generated ASTs -----------------------------
+
+#: Words the parser treats specially anywhere a name/tag may appear.
+_RESERVED = {
+    "subscription", "monitoring", "continuous", "report", "refresh",
+    "virtual", "select", "from", "where", "and", "or", "when", "try",
+    "atmost", "archive", "immediate", "count", "notifications", "self",
+    "new", "updated", "modified", "unchanged", "deleted", "strict",
+    "contains", "extends", "delta", "URL", "DTD", "DTDID", "DOCID",
+    "domain", "filename", "LastAccessed", "LastUpdate", "hourly", "daily",
+    "biweekly", "weekly", "monthly",
+}
+
+names = st.from_regex(r"[A-Z][a-zA-Z0-9]{0,8}", fullmatch=True).filter(
+    lambda s: s not in _RESERVED
+)
+urls = st.from_regex(r"http://[a-z]{3,10}\.example/[a-z]{0,6}", fullmatch=True)
+words = st.from_regex(r"[a-z]{2,10}", fullmatch=True)
+tags = st.from_regex(r"[A-Za-z][a-zA-Z0-9]{0,8}", fullmatch=True).filter(
+    lambda s: s not in _RESERVED
+)
+frequencies = st.sampled_from(["hourly", "daily", "biweekly", "weekly",
+                               "monthly"])
+
+
+@st.composite
+def conditions(draw):
+    choice = draw(st.integers(0, 6))
+    if choice == 0:
+        return AtomicCondition(kind="url_extends", string=draw(urls))
+    if choice == 1:
+        return AtomicCondition(kind="url_eq", string=draw(urls))
+    if choice == 2:
+        return AtomicCondition(kind="domain_eq", string=draw(words))
+    if choice == 3:
+        return AtomicCondition(kind="self_contains", string=draw(words))
+    if choice == 4:
+        # ``strict`` only qualifies a contains clause, so it requires a
+        # word (the parser can never produce strict without one).
+        word = draw(st.one_of(st.none(), words))
+        return AtomicCondition(
+            kind="element",
+            target=draw(tags),
+            change_kind=draw(
+                st.sampled_from([None, "new", "updated", "deleted"])
+            ),
+            string=word,
+            strict=draw(st.booleans()) if word is not None else False,
+        )
+    if choice == 5:
+        return AtomicCondition(
+            kind="last_update",
+            comparator=draw(st.sampled_from(["<", "<=", ">", ">=", "="])),
+            number=float(draw(st.integers(0, 2_000_000_000))),
+        )
+    return AtomicCondition(kind="dtdid_eq", number=float(draw(st.integers(1, 99))))
+
+
+@st.composite
+def monitoring_queries(draw):
+    # Always include one strong condition so validation-compatible.
+    conds = [draw(conditions())] + draw(
+        st.lists(conditions(), max_size=2)
+    )
+    template = draw(st.booleans())
+    if template:
+        select = SelectSpec(template="<Hit url=URL/>")
+        bindings = ()
+    else:
+        variable = draw(tags)
+        select = SelectSpec(items=(variable,))
+        bindings = (FromBinding(path=f"self//{draw(tags)}", variable=variable),)
+    return MonitoringQuery(
+        name=draw(st.one_of(st.none(), names)),
+        select=select,
+        from_bindings=bindings,
+        conditions=tuple(conds),
+    )
+
+
+@st.composite
+def report_specs(draw):
+    term_choices = st.one_of(
+        st.just(ImmediateCondition()),
+        frequencies.map(lambda f: PeriodicCondition(frequency=f)),
+        st.integers(1, 500).map(lambda n: CountCondition(threshold=n)),
+    )
+    terms = tuple(draw(st.lists(term_choices, min_size=1, max_size=3)))
+    return ReportSpec(
+        when=ReportCondition(terms=terms),
+        atmost_count=draw(st.one_of(st.none(), st.integers(1, 100))),
+        atmost_frequency=draw(st.one_of(st.none(), frequencies)),
+        archive_frequency=draw(st.one_of(st.none(), frequencies)),
+    )
+
+
+@st.composite
+def subscriptions(draw):
+    return Subscription(
+        name=draw(names),
+        monitoring=tuple(draw(st.lists(monitoring_queries(), min_size=1,
+                                       max_size=3))),
+        continuous=(),
+        report=draw(report_specs()),
+        refreshes=tuple(
+            draw(
+                st.lists(
+                    st.tuples(urls, frequencies).map(
+                        lambda pair: RefreshStatement(
+                            url=pair[0], frequency=pair[1]
+                        )
+                    ),
+                    max_size=2,
+                )
+            )
+        ),
+        virtuals=tuple(
+            draw(
+                st.lists(
+                    st.tuples(names, st.one_of(st.none(), names)).map(
+                        lambda pair: VirtualReference(
+                            subscription=pair[0], query=pair[1]
+                        )
+                    ),
+                    max_size=1,
+                )
+            )
+        ),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(subscriptions())
+def test_generated_subscriptions_roundtrip(subscription):
+    source = unparse(subscription)
+    reparsed = parse_subscription(source)
+    assert reparsed == subscription

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.errors import SubscriptionError, WeakConditionError
+from repro.language import parse_subscription, validate_subscription
+
+
+def validated(source):
+    subscription = parse_subscription(source)
+    validate_subscription(subscription)
+    return subscription
+
+
+class TestWeakStrongRule:
+    def test_weak_only_rejected(self):
+        with pytest.raises(WeakConditionError):
+            validated(
+                "subscription S\nmonitoring\nselect X\nfrom self//a X\n"
+                "where modified self\nreport when immediate"
+            )
+
+    def test_weak_plus_strong_accepted(self):
+        validated(
+            "subscription S\nmonitoring\nselect X\nfrom self//a X\n"
+            'where modified self and URL extends "http://inria.fr/"\n'
+            "report when immediate"
+        )
+
+    def test_deleted_self_counts_as_strong(self):
+        # Deletion is not in the weak set (it is rarely raised).
+        validated(
+            "subscription S\nmonitoring\nselect X\nfrom self//a X\n"
+            "where deleted self\nreport when immediate"
+        )
+
+
+class TestStructuralChecks:
+    def test_empty_subscription_rejected(self):
+        with pytest.raises(SubscriptionError):
+            validated("subscription Empty")
+
+    def test_missing_report_section_tolerated(self):
+        subscription = validated(
+            "subscription S\nmonitoring\nselect X\nfrom self//a X\n"
+            'where URL = "http://u/"'
+        )
+        assert subscription.report is None
+
+    def test_unbound_select_variable_rejected(self):
+        with pytest.raises(SubscriptionError):
+            validated(
+                "subscription S\nmonitoring\nselect Y\nfrom self//a X\n"
+                'where URL = "http://u/"\nreport when immediate'
+            )
+
+    def test_duplicate_query_names_rejected(self):
+        with pytest.raises(SubscriptionError):
+            validated(
+                "subscription S\n"
+                "monitoring Q\nselect X\nfrom self//a X\n"
+                'where URL = "http://u/"\n'
+                "monitoring Q\nselect X\nfrom self//a X\n"
+                'where URL = "http://v/"\n'
+                "report when immediate"
+            )
+
+    def test_virtual_only_subscription_is_valid(self):
+        validated("subscription S\nvirtual Other.Query")
+
+    def test_refresh_only_subscription_is_valid(self):
+        validated('subscription S\nrefresh "http://u/" weekly')

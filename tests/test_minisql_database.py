@@ -1,0 +1,133 @@
+import json
+import os
+
+import pytest
+
+from repro.errors import MiniSQLError
+from repro.minisql import (
+    Column,
+    Database,
+    Eq,
+    INTEGER,
+    TEXT,
+    schema,
+)
+
+USERS = schema(
+    "users",
+    Column("id", INTEGER, primary_key=True),
+    Column("email", TEXT, nullable=False),
+)
+
+
+class TestInMemory:
+    def test_create_and_use_table(self):
+        db = Database()
+        users = db.create_table(USERS)
+        users.insert({"id": 1, "email": "a@x"})
+        assert db.table("users").get(1)["email"] == "a@x"
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table(USERS)
+        with pytest.raises(MiniSQLError):
+            db.create_table(USERS)
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(MiniSQLError):
+            Database().table("nope")
+
+    def test_has_table_and_names(self):
+        db = Database()
+        db.create_table(USERS)
+        assert db.has_table("users")
+        assert db.table_names() == ["users"]
+
+
+class TestDurability:
+    def test_recover_replays_inserts(self, tmp_path):
+        path = str(tmp_path / "db.wal")
+        with Database(path=path) as db:
+            users = db.create_table(USERS)
+            users.insert({"id": 1, "email": "a@x"})
+            users.insert({"id": 2, "email": "b@x"})
+        recovered = Database.recover(path)
+        assert recovered.table("users").get(2)["email"] == "b@x"
+        recovered.close()
+
+    def test_recover_replays_updates_and_deletes(self, tmp_path):
+        path = str(tmp_path / "db.wal")
+        with Database(path=path) as db:
+            users = db.create_table(USERS)
+            users.insert({"id": 1, "email": "a@x"})
+            users.insert({"id": 2, "email": "b@x"})
+            users.update(Eq("id", 1), {"email": "new@x"})
+            users.delete(Eq("id", 2))
+        recovered = Database.recover(path)
+        assert recovered.table("users").get(1)["email"] == "new@x"
+        assert recovered.table("users").get(2) is None
+        recovered.close()
+
+    def test_recovered_database_is_still_durable(self, tmp_path):
+        path = str(tmp_path / "db.wal")
+        with Database(path=path) as db:
+            db.create_table(USERS).insert({"id": 1, "email": "a@x"})
+        first = Database.recover(path)
+        first.table("users").insert({"id": 2, "email": "b@x"})
+        first.close()
+        second = Database.recover(path)
+        assert len(second.table("users")) == 2
+        second.close()
+
+    def test_checkpoint_truncates_wal(self, tmp_path):
+        path = str(tmp_path / "db.wal")
+        with Database(path=path) as db:
+            users = db.create_table(USERS)
+            for i in range(20):
+                users.insert({"id": i, "email": f"{i}@x"})
+            db.checkpoint()
+            assert os.path.getsize(path) == 0
+            users.insert({"id": 100, "email": "late@x"})
+        recovered = Database.recover(path)
+        assert len(recovered.table("users")) == 21
+        assert recovered.table("users").get(100) is not None
+        recovered.close()
+
+    def test_secondary_indexes_survive_recovery(self, tmp_path):
+        path = str(tmp_path / "db.wal")
+        with Database(path=path) as db:
+            db.create_table(USERS)
+            db.create_index("users", "email")
+            db.table("users").insert({"id": 1, "email": "a@x"})
+        recovered = Database.recover(path)
+        rows = recovered.table("users").select(Eq("email", "a@x"))
+        assert rows[0]["id"] == 1
+        recovered.close()
+
+    def test_torn_final_wal_line_ignored(self, tmp_path):
+        path = str(tmp_path / "db.wal")
+        with Database(path=path) as db:
+            db.create_table(USERS).insert({"id": 1, "email": "a@x"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "insert", "table": "users", "payl')
+        recovered = Database.recover(path)
+        assert len(recovered.table("users")) == 1
+        recovered.close()
+
+    def test_corrupt_middle_record_raises(self, tmp_path):
+        path = str(tmp_path / "db.wal")
+        with Database(path=path) as db:
+            db.create_table(USERS).insert({"id": 1, "email": "a@x"})
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines.insert(1, "GARBAGE\n")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(MiniSQLError):
+            Database.recover(path)
+
+    def test_recovery_of_empty_path(self, tmp_path):
+        path = str(tmp_path / "fresh.wal")
+        recovered = Database.recover(path)
+        assert recovered.table_names() == []
+        recovered.close()

@@ -1,0 +1,104 @@
+import pytest
+
+from repro.minisql import (
+    BOOLEAN,
+    Column,
+    Database,
+    Eq,
+    Everything,
+    INTEGER,
+    IsNull,
+    REAL,
+    TEXT,
+    schema,
+)
+from repro.minisql.table import Table
+
+
+class TestOrderingWithNulls:
+    def test_nulls_sort_last(self):
+        table = Table(
+            schema("t", Column("id", INTEGER, primary_key=True),
+                   Column("v", INTEGER))
+        )
+        table.insert({"id": 1, "v": None})
+        table.insert({"id": 2, "v": 5})
+        table.insert({"id": 3, "v": 1})
+        rows = table.select(order_by="v")
+        assert [row["id"] for row in rows] == [3, 2, 1]
+
+
+class TestMixedTypes:
+    def test_real_column_roundtrip(self):
+        table = Table(
+            schema("t", Column("id", INTEGER, primary_key=True),
+                   Column("score", REAL))
+        )
+        table.insert({"id": 1, "score": 3})
+        assert table.get(1)["score"] == 3.0
+        assert isinstance(table.get(1)["score"], float)
+
+    def test_boolean_filtering(self):
+        table = Table(
+            schema("t", Column("id", INTEGER, primary_key=True),
+                   Column("flag", BOOLEAN, nullable=False))
+        )
+        table.insert({"id": 1, "flag": True})
+        table.insert({"id": 2, "flag": False})
+        assert [r["id"] for r in table.select(Eq("flag", True))] == [1]
+
+
+class TestWhereOnIndexedDeletes:
+    def test_delete_by_secondary_index(self):
+        table = Table(
+            schema("t", Column("id", INTEGER, primary_key=True),
+                   Column("tag", TEXT, nullable=False))
+        )
+        table.create_index("tag")
+        for i in range(10):
+            table.insert({"id": i, "tag": "even" if i % 2 == 0 else "odd"})
+        assert table.delete(Eq("tag", "odd")) == 5
+        assert table.count() == 5
+        assert table.select(Eq("tag", "odd")) == []
+
+    def test_is_null_scan(self):
+        table = Table(
+            schema("t", Column("id", INTEGER, primary_key=True),
+                   Column("v", TEXT))
+        )
+        table.insert({"id": 1, "v": None})
+        table.insert({"id": 2, "v": "x"})
+        assert [r["id"] for r in table.select(IsNull("v"))] == [1]
+
+
+class TestDatabaseCheckpointCycles:
+    def test_multiple_checkpoint_cycles(self, tmp_path):
+        path = str(tmp_path / "db.wal")
+        db = Database(path=path)
+        table = db.create_table(
+            schema("t", Column("id", INTEGER, primary_key=True),
+                   Column("v", TEXT))
+        )
+        for cycle in range(3):
+            for i in range(5):
+                table.insert({"id": cycle * 10 + i, "v": f"c{cycle}"})
+            db.checkpoint()
+        table.insert({"id": 999, "v": "tail"})
+        db.close()
+        recovered = Database.recover(path)
+        assert len(recovered.table("t")) == 16
+        assert recovered.table("t").get(999)["v"] == "tail"
+        recovered.close()
+
+    def test_checkpoint_on_memory_database_is_noop(self):
+        db = Database()
+        db.create_table(
+            schema("t", Column("id", INTEGER, primary_key=True))
+        )
+        db.checkpoint()  # no path: silently does nothing
+        assert db.table("t").count() == 0
+
+    def test_select_everything_predicate(self):
+        table = Table(schema("t", Column("id", INTEGER, primary_key=True)))
+        table.insert({"id": 1})
+        assert len(table.select(Everything())) == 1

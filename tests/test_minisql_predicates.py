@@ -1,0 +1,99 @@
+from repro.minisql import (
+    And,
+    Eq,
+    Everything,
+    Ge,
+    Gt,
+    IsNull,
+    Le,
+    Like,
+    Lt,
+    Ne,
+    Not,
+    Or,
+)
+
+ROW = {"name": "nguyen", "age": 30, "email": None}
+
+
+class TestAtoms:
+    def test_everything(self):
+        assert Everything().matches(ROW)
+
+    def test_eq(self):
+        assert Eq("name", "nguyen").matches(ROW)
+        assert not Eq("name", "preda").matches(ROW)
+
+    def test_ne(self):
+        assert Ne("name", "preda").matches(ROW)
+
+    def test_comparisons(self):
+        assert Lt("age", 31).matches(ROW)
+        assert Le("age", 30).matches(ROW)
+        assert Gt("age", 29).matches(ROW)
+        assert Ge("age", 30).matches(ROW)
+        assert not Gt("age", 30).matches(ROW)
+
+    def test_comparisons_with_null_are_false(self):
+        assert not Lt("email", "z").matches(ROW)
+        assert not Ge("email", "a").matches(ROW)
+
+    def test_is_null(self):
+        assert IsNull("email").matches(ROW)
+        assert not IsNull("name").matches(ROW)
+
+    def test_missing_column_behaves_as_null(self):
+        assert IsNull("nonexistent").matches(ROW)
+        assert not Eq("nonexistent", 1).matches(ROW)
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert Like("name", "ngu%").matches(ROW)
+        assert Like("name", "%yen").matches(ROW)
+        assert Like("name", "%guy%").matches(ROW)
+
+    def test_underscore_wildcard(self):
+        assert Like("name", "n_uyen").matches(ROW)
+        assert not Like("name", "n_yen").matches(ROW)
+
+    def test_regex_metacharacters_escaped(self):
+        row = {"path": "a.b+c"}
+        assert Like("path", "a.b+c").matches(row)
+        assert not Like("path", "aXb+c").matches(row)
+
+    def test_non_string_value_never_matches(self):
+        assert not Like("age", "3%").matches(ROW)
+
+
+class TestCombinators:
+    def test_and(self):
+        assert And(Eq("name", "nguyen"), Gt("age", 20)).matches(ROW)
+        assert not And(Eq("name", "nguyen"), Gt("age", 40)).matches(ROW)
+
+    def test_or(self):
+        assert Or(Eq("name", "x"), Eq("age", 30)).matches(ROW)
+        assert not Or(Eq("name", "x"), Eq("age", 0)).matches(ROW)
+
+    def test_not(self):
+        assert Not(Eq("name", "x")).matches(ROW)
+
+    def test_empty_and_matches_everything(self):
+        assert And().matches(ROW)
+
+    def test_empty_or_matches_nothing(self):
+        assert not Or().matches(ROW)
+
+
+class TestEqualityExtraction:
+    def test_eq_pins_its_column(self):
+        assert Eq("name", "nguyen").equality_on("name") == "nguyen"
+        assert Eq("name", "nguyen").equality_on("age") is None
+
+    def test_and_propagates(self):
+        predicate = And(Gt("age", 3), Eq("name", "nguyen"))
+        assert predicate.equality_on("name") == "nguyen"
+
+    def test_or_does_not_pin(self):
+        predicate = Or(Eq("name", "a"), Eq("name", "b"))
+        assert predicate.equality_on("name") is None

@@ -1,0 +1,59 @@
+import json
+import os
+
+import pytest
+
+from repro.minisql import WriteAheadLog
+from repro.minisql.wal import read_snapshot, snapshot_path, write_snapshot
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "test.wal")
+
+
+class TestAppendAndRead:
+    def test_records_roundtrip(self, wal_path):
+        with WriteAheadLog(wal_path) as log:
+            log.append({"op": "insert", "n": 1})
+            log.append({"op": "delete", "n": 2})
+        records = list(WriteAheadLog(wal_path).records())
+        assert records == [{"op": "insert", "n": 1}, {"op": "delete", "n": 2}]
+
+    def test_missing_file_yields_nothing(self, wal_path):
+        assert list(WriteAheadLog(wal_path).records()) == []
+
+    def test_sync_every_batches_flushes(self, wal_path):
+        log = WriteAheadLog(wal_path, sync_every=10)
+        for n in range(5):
+            log.append({"n": n})
+        log.close()
+        assert len(list(WriteAheadLog(wal_path).records())) == 5
+
+    def test_truncate_clears_log(self, wal_path):
+        log = WriteAheadLog(wal_path)
+        log.append({"n": 1})
+        log.truncate()
+        log.append({"n": 2})
+        log.close()
+        assert list(WriteAheadLog(wal_path).records()) == [{"n": 2}]
+
+    def test_blank_lines_skipped(self, wal_path):
+        with open(wal_path, "w", encoding="utf-8") as handle:
+            handle.write('{"n": 1}\n\n{"n": 2}\n')
+        assert len(list(WriteAheadLog(wal_path).records())) == 2
+
+
+class TestSnapshots:
+    def test_snapshot_roundtrip(self, wal_path):
+        write_snapshot(wal_path, {"tables": [1, 2, 3]})
+        assert read_snapshot(wal_path) == {"tables": [1, 2, 3]}
+
+    def test_missing_snapshot_is_none(self, wal_path):
+        assert read_snapshot(wal_path) is None
+
+    def test_snapshot_write_is_atomic(self, wal_path):
+        write_snapshot(wal_path, {"v": 1})
+        write_snapshot(wal_path, {"v": 2})
+        assert read_snapshot(wal_path) == {"v": 2}
+        assert not os.path.exists(snapshot_path(wal_path) + ".tmp")

@@ -1,0 +1,93 @@
+"""Golden test: the paper's running example end to end (Section 2.2).
+
+The MyXyleme subscription and the exact report shape the paper prints::
+
+    <Report>
+      <UpdatedPage url="http://inria.fr/Xy/index.html"/>
+      <UpdatedPage url="http://inria.fr/Xy/members.xml"/>
+      <Member><name>jouglet</name><fn>jeremie</fn></Member>
+      ...
+    </Report>
+"""
+
+import pytest
+
+from repro.xmlstore import parse
+
+SUBSCRIPTION = """
+subscription MyXyleme
+
+monitoring UpdatedPage
+select <UpdatedPage url=URL/>
+where URL extends "http://inria.fr/Xy/"
+  and modified self
+
+monitoring Member
+select X
+from self//Member X
+where URL = "http://inria.fr/Xy/members.xml"
+  and new X
+
+report when notifications.count >= 5
+"""
+
+INDEX_V1 = "<page><title>Xyleme</title></page>"
+INDEX_V2 = "<page><title>Xyleme project</title></page>"
+MEMBERS_V1 = (
+    "<members><Member><name>jouglet</name><fn>jeremie</fn></Member>"
+    "</members>"
+)
+MEMBERS_V2 = (
+    "<members><Member><name>jouglet</name><fn>jeremie</fn></Member>"
+    "<Member><name>nguyen</name><fn>benjamin</fn></Member>"
+    "<Member><name>preda</name><fn>mihai</fn></Member></members>"
+)
+
+
+@pytest.fixture
+def report_body(system, clock):
+    system.subscribe(SUBSCRIPTION, owner_email="ben@inria.fr")
+    system.feed_xml("http://inria.fr/Xy/index.html", INDEX_V1)
+    system.feed_xml("http://inria.fr/Xy/members.xml", MEMBERS_V1)
+    clock.advance(3600)
+    system.feed_xml("http://inria.fr/Xy/index.html", INDEX_V2)
+    system.feed_xml("http://inria.fr/Xy/members.xml", MEMBERS_V2)
+    assert system.email_sink.total_sent == 1
+    return system.email_sink.sent[-1].body
+
+
+class TestPaperReport:
+    def test_report_root(self, report_body):
+        assert parse(report_body).root.tag == "Report"
+
+    def test_updated_pages_listed_with_urls(self, report_body):
+        report = parse(report_body)
+        urls = {
+            element.attributes["url"]
+            for element in report.root.find_all("UpdatedPage")
+        }
+        assert urls == {
+            "http://inria.fr/Xy/index.html",
+            "http://inria.fr/Xy/members.xml",
+        }
+
+    def test_new_members_carried_in_full(self, report_body):
+        report = parse(report_body)
+        members = list(report.root.find_all("Member"))
+        names = {
+            member.first("name").text_content() for member in members
+        }
+        # jouglet was in V1 (new document: all members new then); nguyen
+        # and preda arrived with the update.
+        assert {"nguyen", "preda"} <= names
+        for member in members:
+            assert member.first("fn") is not None
+
+    def test_paper_sample_structure(self, report_body):
+        # The exact elements the paper's sample report shows.
+        assert '<UpdatedPage url="http://inria.fr/Xy/index.html"/>' in (
+            report_body
+        )
+        assert "<Member><name>nguyen</name><fn>benjamin</fn></Member>" in (
+            report_body
+        )

@@ -1,0 +1,112 @@
+"""Dynamic behaviour under a running stream (Section 4.1: "Subscriptions
+keep being added, removed and updated while the system is running")."""
+
+import pytest
+
+from repro.pipeline import SubscriptionSystem
+from repro.webworld import ChangeModel, SiteGenerator, to_xml
+
+
+def camera_subscription(name, threshold=99):
+    return f"""
+    subscription {name}
+    monitoring Cam
+    select X
+    from self//Product X
+    where URL extends "http://www.shop"
+      and new Product contains "camera"
+    report when count >= {threshold}
+    """
+
+
+class TestSubscriptionChurn:
+    def test_add_remove_add_under_stream(self, system, clock):
+        generator = SiteGenerator(seed=31)
+        model = ChangeModel(seed=32)
+        url = "http://www.shop0.example/catalog.xml"
+        document = generator.catalog(products=6)
+
+        first = system.subscribe(camera_subscription("A"), owner_email="a@x")
+        system.feed_xml(url, to_xml(document))
+
+        matched_with_a = 0
+        for _ in range(4):
+            clock.advance(3600)
+            document = model.mutate(document)
+            result = system.feed_xml(url, to_xml(document))
+            matched_with_a += len(result.notifications)
+
+        system.unsubscribe(first)
+        for _ in range(4):
+            clock.advance(3600)
+            document = model.mutate(document)
+            result = system.feed_xml(url, to_xml(document))
+            assert result.notifications == []
+
+        # The warehouse is tiny at this point, so "camera" exceeds the
+        # cost controller's document-frequency bound; a privileged user
+        # may still register it (Section 5.4).
+        second = system.subscribe(
+            camera_subscription("B"), owner_email="b@x", privileged=True
+        )
+        matched_with_b = 0
+        for _ in range(6):
+            clock.advance(3600)
+            document = model.mutate(document)
+            result = system.feed_xml(url, to_xml(document))
+            matched_with_b += len(result.notifications)
+        assert matched_with_a > 0 or matched_with_b > 0
+        assert system.manager.count() == 1
+
+    def test_many_subscriptions_share_structure(self, system):
+        # 50 users watching overlapping prefixes: atomic events intern.
+        for i in range(50):
+            system.subscribe(
+                f"""
+                subscription User{i}
+                monitoring M
+                select <Hit url=URL/>
+                where URL extends "http://www.shop{i % 5}.example/"
+                  and modified self
+                report when count >= 99
+                """,
+                owner_email=f"user{i}@x",
+            )
+        # 5 distinct prefixes + 1 weak doc_updated event.
+        assert system.processor.registry.atomic_count() == 6
+        assert len(system.processor.matcher) == 50
+
+    def test_removal_is_complete(self, system):
+        ids = [
+            system.subscribe(camera_subscription(f"S{i}"), owner_email="u@x")
+            for i in range(10)
+        ]
+        for sub_id in ids:
+            system.unsubscribe(sub_id)
+        assert system.processor.registry.atomic_count() == 0
+        assert system.processor.registry.complex_count() == 0
+        assert len(system.processor.matcher) == 0
+
+
+class TestNotificationFanOut:
+    def test_one_document_many_subscribers(self, system, clock):
+        for i in range(20):
+            system.subscribe(
+                f"""
+                subscription Watcher{i}
+                monitoring M
+                select <Hit url=URL/>
+                where URL extends "http://popular.example/"
+                  and modified self
+                report when immediate
+                """,
+                owner_email=f"w{i}@x",
+            )
+        system.feed_xml("http://popular.example/page.xml", "<r/>")
+        clock.advance(60)
+        result = system.feed_xml(
+            "http://popular.example/page.xml", "<r><x/></r>"
+        )
+        # Every subscriber's complex event matched the single document.
+        assert len(result.notifications) == 20
+        assert system.reporter.stats.reports_generated == 20

@@ -1,0 +1,261 @@
+"""End-to-end tests of the assembled subscription system (Figure 3)."""
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY, SECONDS_PER_WEEK
+from repro.errors import ResourceLimitError
+from repro.pipeline import Fetch, SubscriptionSystem
+
+MEMBERS_V1 = (
+    "<members><Member><name>jouglet</name><fn>jeremie</fn></Member></members>"
+)
+MEMBERS_V2 = (
+    "<members><Member><name>jouglet</name><fn>jeremie</fn></Member>"
+    "<Member><name>nguyen</name><fn>benjamin</fn></Member>"
+    "<Member><name>preda</name><fn>mihai</fn></Member></members>"
+)
+
+MY_XYLEME = """
+subscription MyXyleme
+monitoring UpdatedPage
+select <UpdatedPage url=URL/>
+where URL extends "http://inria.fr/Xy/"
+  and modified self
+monitoring NewMember
+select X
+from self//Member X
+where URL = "http://inria.fr/Xy/members.xml"
+  and new X
+report when notifications.count >= 3
+"""
+
+
+class TestMyXylemeScenario:
+    """The paper's running example (Section 2.2)."""
+
+    def test_full_flow(self, system, clock):
+        sub_id = system.subscribe(MY_XYLEME, owner_email="ben@inria.fr")
+        first = system.feed_xml("http://inria.fr/Xy/members.xml", MEMBERS_V1)
+        # New document: NewMember fires (first Member), UpdatedPage does not
+        # (the page is new, not modified).
+        assert len(first.notifications) == 1
+
+        clock.advance(3600)
+        second = system.feed_xml("http://inria.fr/Xy/members.xml", MEMBERS_V2)
+        # Updated page inside the prefix + two new Members.
+        codes = {n.complex_code for n in second.notifications}
+        assert len(codes) == 2
+
+        assert system.reporter.stats.reports_generated >= 1
+        assert system.email_sink.total_sent >= 1
+        body = system.email_sink.sent[-1].body
+        assert "<Member>" in body or "UpdatedPage" in body
+
+    def test_unchanged_refetch_yields_no_notification(self, system, clock):
+        system.subscribe(MY_XYLEME, owner_email="ben@inria.fr")
+        system.feed_xml("http://inria.fr/Xy/members.xml", MEMBERS_V1)
+        clock.advance(60)
+        result = system.feed_xml(
+            "http://inria.fr/Xy/members.xml", MEMBERS_V1
+        )
+        # URL conditions are strong, so an alert is still sent (Section
+        # 5.1), but no complex event completes: no notification.
+        assert result.alert is not None
+        assert result.notifications == []
+
+    def test_documents_outside_prefix_ignored(self, system):
+        system.subscribe(MY_XYLEME, owner_email="ben@inria.fr")
+        result = system.feed_xml("http://other.org/page.xml", "<r/>")
+        assert result.alert is None
+
+
+class TestElementLevelMonitoring:
+    CAMERAS = """
+    subscription Cameras
+    monitoring UpdatedCam
+    select X
+    from self//Product X
+    where DTD = "http://dtd.example.org/catalog.dtd"
+      and updated Product contains "camera"
+    report when immediate
+    """
+
+    CATALOG_V1 = (
+        '<!DOCTYPE catalog SYSTEM "http://dtd.example.org/catalog.dtd">'
+        "<catalog><Product><name>super camera</name><price>10</price>"
+        "</Product><Product><name>piano</name><price>99</price></Product>"
+        "</catalog>"
+    )
+    CATALOG_V2 = CATALOG_V1.replace("<price>10</price>", "<price>12</price>")
+    CATALOG_V3 = CATALOG_V2.replace("<price>99</price>", "<price>89</price>")
+
+    def test_updated_product_with_word(self, system, clock):
+        system.subscribe(self.CAMERAS, owner_email="u@x")
+        system.feed_xml("http://shop/catalog.xml", self.CATALOG_V1)
+        clock.advance(60)
+        result = system.feed_xml("http://shop/catalog.xml", self.CATALOG_V2)
+        assert len(result.notifications) == 1
+        body = system.email_sink.sent[-1].body
+        assert "camera" in body and "12" in body
+
+    def test_update_to_other_product_ignored(self, system, clock):
+        system.subscribe(self.CAMERAS, owner_email="u@x")
+        system.feed_xml("http://shop/catalog.xml", self.CATALOG_V2)
+        clock.advance(60)
+        result = system.feed_xml("http://shop/catalog.xml", self.CATALOG_V3)
+        # The piano product updated; no camera product did.
+        assert result.notifications == []
+
+
+class TestContinuousQueries:
+    AMSTERDAM = """
+    subscription Amsterdam
+    continuous delta AmsterdamPaintings
+    select p/title from culture/museum m, m/painting p
+    where m/address contains "Amsterdam"
+    try biweekly
+    report when immediate
+    """
+
+    MUSEUM_V1 = (
+        "<museum><name>Rijks</name><address>Amsterdam</address>"
+        "<painting><title>Night Watch</title></painting></museum>"
+    )
+    MUSEUM_V2 = MUSEUM_V1.replace(
+        "</museum>",
+        "<painting><title>Milkmaid</title></painting></museum>",
+    )
+
+    def test_first_evaluation_full_then_delta(self, system, clock):
+        system.feed_xml("http://rijks.nl/c.xml", self.MUSEUM_V1)
+        sub_id = system.subscribe(self.AMSTERDAM, owner_email="u@x")
+        system.advance_days(3.5)
+        assert system.trigger_engine.stats.evaluations == 1
+        first_report = system.publisher.fetch(sub_id)
+        assert "Night Watch" in first_report
+
+        system.feed_xml("http://rijks.nl/c.xml", self.MUSEUM_V2)
+        system.advance_days(3.5)
+        latest = system.publisher.fetch(sub_id)
+        assert "AmsterdamPaintings-delta" in latest
+        assert "Milkmaid" in latest
+
+    def test_notification_triggered_continuous(self, system, clock):
+        system.feed_xml("http://rijks.nl/c.xml", self.MUSEUM_V1)
+        source = """
+        subscription XylemeCompetitors
+        monitoring ChangeInMyProducts
+        select <ChangeInMyProducts/>
+        where URL = "http://www.xyleme.com/products.xml"
+          and modified self
+        continuous MyCompetitors
+        select p/title from culture/museum m, m/painting p
+        where m/address contains "Amsterdam"
+        when XylemeCompetitors.ChangeInMyProducts
+        report when immediate
+        """
+        sub_id = system.subscribe(source, owner_email="u@x")
+        system.feed_xml("http://www.xyleme.com/products.xml", "<p>v1</p>")
+        assert system.trigger_engine.stats.evaluations == 0
+        clock.advance(60)
+        system.feed_xml("http://www.xyleme.com/products.xml", "<p>v2</p>")
+        assert system.trigger_engine.stats.evaluations == 1
+        assert "Night Watch" in system.publisher.fetch(sub_id)
+
+
+class TestReportConditionsEndToEnd:
+    def test_periodic_report(self, system, clock):
+        source = """
+        subscription Weekly
+        monitoring M
+        select <Hit url=URL/>
+        where URL extends "http://watched.example/"
+        report when weekly
+        """
+        sub_id = system.subscribe(source, owner_email="u@x")
+        system.feed_xml("http://watched.example/a.xml", "<r/>")
+        assert system.reporter.stats.reports_generated == 0
+        system.advance_days(7)
+        assert system.reporter.stats.reports_generated == 1
+
+    def test_atmost_weekly_rate_limit(self, system, clock):
+        source = """
+        subscription Limited
+        monitoring M
+        select <Hit url=URL/>
+        where URL extends "http://watched.example/"
+        report when immediate atmost weekly
+        """
+        system.subscribe(source, owner_email="u@x")
+        system.feed_xml("http://watched.example/a.xml", "<r>1</r>")
+        clock.advance(60)
+        system.feed_xml("http://watched.example/b.xml", "<r>2</r>")
+        assert system.reporter.stats.reports_generated == 1
+        system.advance_days(7)
+        assert system.reporter.stats.reports_generated == 2
+
+    def test_report_query_postprocessing(self, system):
+        source = """
+        subscription Urls
+        monitoring M
+        select <Hit url=URL/>
+        where URL extends "http://watched.example/"
+        report
+        select h@url from Report/Hit h
+        when count >= 2
+        """
+        sub_id = system.subscribe(source, owner_email="u@x")
+        system.feed_xml("http://watched.example/a.xml", "<r/>")
+        system.feed_xml("http://watched.example/b.xml", "<r/>")
+        body = system.publisher.fetch(sub_id)
+        assert "http://watched.example/a.xml" in body
+        assert "<Hit" not in body  # query projected attributes out
+
+
+class TestHTMLMonitoring:
+    def test_html_keyword_and_change(self, system, clock):
+        source = """
+        subscription News
+        monitoring M
+        select <Hit url=URL/>
+        where URL extends "http://news.example/"
+          and self contains "xyleme"
+        report when immediate
+        """
+        system.subscribe(source, owner_email="u@x")
+        hit = system.feed_html(
+            "http://news.example/today.html",
+            "<html><body>xyleme raises funding</body></html>",
+        )
+        assert len(hit.notifications) == 1
+        miss = system.feed_html(
+            "http://news.example/other.html",
+            "<html><body>nothing relevant</body></html>",
+        )
+        assert miss.notifications == []
+
+
+class TestSystemAdministration:
+    def test_unsubscribe(self, system):
+        sub_id = system.subscribe(MY_XYLEME, owner_email="u@x")
+        system.unsubscribe(sub_id)
+        result = system.feed_xml("http://inria.fr/Xy/members.xml", MEMBERS_V1)
+        assert result.alert is None
+
+    def test_cost_control_wired(self, system):
+        bad = MY_XYLEME.replace(
+            'URL extends "http://inria.fr/Xy/"', 'self contains "the"'
+        )
+        with pytest.raises(ResourceLimitError):
+            system.subscribe(bad.replace("MyXyleme", "Bad"), owner_email="u@x")
+
+    def test_feed_stream(self, system):
+        system.subscribe(MY_XYLEME, owner_email="u@x")
+        results = system.run_stream(
+            [
+                Fetch("http://inria.fr/Xy/members.xml", MEMBERS_V1),
+                Fetch("http://elsewhere.org/x.xml", "<r/>"),
+            ]
+        )
+        assert len(results) == 2
+        assert system.documents_fed == 2

@@ -1,0 +1,93 @@
+"""The assembled system over a distributed MQP (Section 4.2 axes)."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.pipeline import SubscriptionSystem
+
+SOURCE = """
+subscription Sharded
+monitoring M
+select <Hit url=URL/>
+where URL extends "http://watched.example/"
+  and modified self
+report when count >= 100
+"""
+
+
+@pytest.mark.parametrize("shard_mode", ["flow", "subscriptions"])
+class TestShardedSystem:
+    def build(self, shard_mode):
+        return SubscriptionSystem(
+            clock=SimulatedClock(1_000_000.0), shards=4,
+            shard_mode=shard_mode,
+        )
+
+    def test_matches_like_single_processor(self, shard_mode):
+        sharded = self.build(shard_mode)
+        single = SubscriptionSystem(clock=SimulatedClock(1_000_000.0))
+        for system in (sharded, single):
+            system.subscribe(SOURCE, owner_email="u@x")
+        urls = [f"http://watched.example/p{i}.xml" for i in range(12)]
+        urls += [f"http://other.example/p{i}.xml" for i in range(12)]
+        for system in (sharded, single):
+            for url in urls:
+                system.feed_xml(url, "<r/>")
+            system.clock.advance(60)
+            for url in urls:
+                system.feed_xml(url, "<r><x/></r>")
+        sharded_stats = sharded.processor.stats()
+        assert (
+            sharded_stats.notifications_sent
+            == single.processor.stats.notifications_sent
+            == 12
+        )
+
+    def test_subscription_lifecycle(self, shard_mode):
+        system = self.build(shard_mode)
+        sub_id = system.subscribe(SOURCE, owner_email="u@x")
+        system.unsubscribe(sub_id)
+        system.feed_xml("http://watched.example/a.xml", "<r/>")
+        assert system.processor.stats().notifications_sent == 0
+
+    def test_reports_flow_through(self, shard_mode):
+        system = self.build(shard_mode)
+        source = SOURCE.replace("count >= 100", "count >= 2")
+        sub_id = system.subscribe(source, owner_email="u@x")
+        for i in range(3):
+            system.feed_xml(f"http://watched.example/p{i}.xml", "<r/>")
+            system.clock.advance(30)
+            system.feed_xml(f"http://watched.example/p{i}.xml", "<r><y/></r>")
+        assert system.reporter.stats.reports_generated >= 1
+
+
+class TestFlowShardingBalance:
+    def test_documents_spread_across_shards(self):
+        system = SubscriptionSystem(
+            clock=SimulatedClock(1_000_000.0), shards=4, shard_mode="flow"
+        )
+        system.subscribe(SOURCE, owner_email="u@x")
+        for i in range(80):
+            system.feed_xml(f"http://watched.example/p{i}.xml", "<r/>")
+        loads = [s.stats.alerts_processed for s in system.processor.shards]
+        assert sum(loads) == 80
+        assert max(loads) < 80  # not all on one shard
+
+
+class TestSubscriptionShardingMemory:
+    def test_structures_split(self):
+        system = SubscriptionSystem(
+            clock=SimulatedClock(1_000_000.0),
+            shards=4,
+            shard_mode="subscriptions",
+        )
+        for i in range(8):
+            system.subscribe(
+                SOURCE.replace("Sharded", f"Sub{i}").replace(
+                    "watched", f"watched{i}"
+                ),
+                owner_email="u@x",
+            )
+        sizes = [len(s.matcher) for s in system.processor.shards]
+        assert sum(sizes) == 8
+        assert max(sizes) == 2

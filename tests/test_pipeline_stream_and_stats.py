@@ -1,0 +1,55 @@
+from repro.core.stats import ProcessorStats
+from repro.pipeline import Fetch, HTML_PAGE, XML_PAGE, from_pairs
+
+
+class TestFetch:
+    def test_defaults_to_xml(self):
+        fetch = Fetch(url="http://x/", content="<r/>")
+        assert fetch.kind == XML_PAGE
+        assert fetch.is_xml
+
+    def test_html_kind(self):
+        fetch = Fetch(url="http://x/", content="<html/>", kind=HTML_PAGE)
+        assert not fetch.is_xml
+
+    def test_from_pairs(self):
+        fetches = list(
+            from_pairs([("http://a/", "<r/>"), ("http://b/", "<s/>")])
+        )
+        assert [f.url for f in fetches] == ["http://a/", "http://b/"]
+        assert all(f.is_xml for f in fetches)
+
+    def test_from_pairs_html(self):
+        fetches = list(from_pairs([("http://a/", "x")], kind=HTML_PAGE))
+        assert fetches[0].kind == HTML_PAGE
+
+
+class TestProcessorStats:
+    def test_averages(self):
+        stats = ProcessorStats(
+            alerts_processed=4, events_seen=40, notifications_sent=2
+        )
+        assert stats.average_event_set_size == 10.0
+        assert stats.average_notifications_per_alert == 0.5
+
+    def test_zero_division_guards(self):
+        stats = ProcessorStats()
+        assert stats.average_event_set_size == 0.0
+        assert stats.average_notifications_per_alert == 0.0
+
+    def test_merge(self):
+        a = ProcessorStats(alerts_processed=1, events_seen=10,
+                           notifications_sent=2, complex_registered=3)
+        b = ProcessorStats(alerts_processed=2, events_seen=5,
+                           notifications_sent=1, complex_removed=4)
+        merged = a.merged_with(b)
+        assert merged.alerts_processed == 3
+        assert merged.events_seen == 15
+        assert merged.notifications_sent == 3
+        assert merged.complex_registered == 3
+        assert merged.complex_removed == 4
+
+    def test_as_dict_keys(self):
+        payload = ProcessorStats().as_dict()
+        assert "average_event_set_size" in payload
+        assert "notifications_sent" in payload

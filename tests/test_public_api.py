@@ -1,0 +1,51 @@
+"""The package's public surface: everything __all__ promises exists."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.alerters",
+    "repro.core",
+    "repro.diff",
+    "repro.language",
+    "repro.minisql",
+    "repro.pipeline",
+    "repro.query",
+    "repro.reporting",
+    "repro.repository",
+    "repro.subscription",
+    "repro.triggers",
+    "repro.webworld",
+    "repro.xmlstore",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} has no __all__"
+    for entry in module.__all__:
+        assert hasattr(module, entry), f"{name}.{entry} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings_present(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} undocumented"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_classes_documented():
+    import repro
+
+    for entry in repro.__all__:
+        value = getattr(repro, entry)
+        if isinstance(value, type):
+            assert value.__doc__, f"repro.{entry} lacks a docstring"

@@ -1,0 +1,128 @@
+import pytest
+
+from repro.query import QueryEngine
+from repro.xmlstore import parse
+
+
+@pytest.fixture
+def engine(repository):
+    repository.store_xml(
+        "http://rijks.nl/c.xml",
+        "<museum><name>Rijksmuseum</name><address>Amsterdam</address>"
+        "<painting><title>Night Watch</title><year>1642</year></painting>"
+        "<painting><title>Milkmaid</title><year>1658</year></painting>"
+        "</museum>",
+    )
+    repository.store_xml(
+        "http://louvre.fr/c.xml",
+        "<museum><name>Louvre</name><address>Paris</address>"
+        "<painting><title>Mona Lisa</title><year>1503</year></painting>"
+        "</museum>",
+    )
+    repository.store_xml(
+        "http://inria.fr/Xy/members.xml",
+        '<members><Member id="1"><name>nguyen</name></Member>'
+        '<Member id="2"><name>preda</name></Member></members>',
+    )
+    return QueryEngine(repository)
+
+
+class TestDomainQueries:
+    def test_amsterdam_paintings(self, engine):
+        result = engine.evaluate(
+            'select p/title from culture/museum m, m/painting p'
+            ' where m/address contains "Amsterdam"',
+            name="AmsterdamPaintings",
+        )
+        titles = [item.text_content() for item in result]
+        assert titles == ["Night Watch", "Milkmaid"]
+        assert result.to_xml().startswith("<AmsterdamPaintings>")
+
+    def test_numeric_comparison(self, engine):
+        result = engine.evaluate(
+            "select p/title from culture/museum m, m/painting p"
+            " where p/year < 1600"
+        )
+        assert [i.text_content() for i in result] == ["Mona Lisa"]
+
+    def test_unknown_domain_yields_empty(self, engine):
+        result = engine.evaluate("select m from nowhere/museum m")
+        assert len(result) == 0
+
+
+class TestDocAndStarSources:
+    def test_doc_source_with_descendant(self, engine):
+        result = engine.evaluate(
+            'select x/name from doc("http://inria.fr/Xy/members.xml")'
+            "//Member x"
+        )
+        assert [i.text_content() for i in result] == ["nguyen", "preda"]
+
+    def test_attribute_select(self, engine):
+        result = engine.evaluate(
+            'select x@id from doc("http://inria.fr/Xy/members.xml")//Member x'
+        )
+        assert list(result) == ["1", "2"]
+
+    def test_star_source_scans_all_documents(self, engine):
+        result = engine.evaluate("select t from *//title t")
+        assert len(result) == 3
+
+
+class TestConditionSemantics:
+    def test_contains_is_word_based(self, engine):
+        result = engine.evaluate(
+            'select m/name from culture/museum m where m contains "watch"'
+        )
+        assert [i.text_content() for i in result] == ["Rijksmuseum"]
+
+    def test_strict_contains_requires_direct_text(self, engine):
+        nothing = engine.evaluate(
+            'select m/name from culture/museum m where m strict contains'
+            ' "watch"'
+        )
+        assert len(nothing) == 0
+        direct = engine.evaluate(
+            "select p from culture/museum m, m/painting p"
+            ' where p/title strict contains "watch"'
+        )
+        assert len(direct) == 1
+
+    def test_equality_on_text(self, engine):
+        result = engine.evaluate(
+            'select m from culture/museum m where m/name = "Louvre"'
+        )
+        assert len(result) == 1
+
+    def test_string_comparison_fallback(self, engine):
+        result = engine.evaluate(
+            'select m/name from culture/museum m where m/name > "M"'
+        )
+        assert [i.text_content() for i in result] == ["Rijksmuseum"]
+
+
+class TestOnDocument:
+    def test_report_query_over_notification_stream(self, engine):
+        report = parse(
+            "<Report>"
+            '<UpdatedPage url="http://a/"/>'
+            '<UpdatedPage url="http://b/"/>'
+            "<Member><name>nguyen</name></Member>"
+            "</Report>"
+        )
+        result = engine.evaluate_on_document(
+            "select u@url from Report/UpdatedPage u", report
+        )
+        assert list(result) == ["http://a/", "http://b/"]
+
+    def test_results_are_copies(self, engine):
+        result = engine.evaluate(
+            "select p from culture/museum m, m/painting p where p/year < 1600"
+        )
+        element = result.to_element()
+        element.children[0].detach()
+        # Re-evaluating gives the same answer: the warehouse was untouched.
+        again = engine.evaluate(
+            "select p from culture/museum m, m/painting p where p/year < 1600"
+        )
+        assert len(again) == 1

@@ -1,0 +1,86 @@
+import pytest
+
+from repro.errors import DocumentNotFound, QueryError
+from repro.query import QueryEngine, parse_query
+from repro.xmlstore import parse
+
+
+@pytest.fixture
+def engine(repository):
+    repository.store_xml(
+        "http://a.example/doc.xml",
+        '<museum><name>A</name><painting year="1700"/></museum>',
+    )
+    repository.store_xml(
+        "http://b.example/doc.xml",
+        "<catalog><Product><price>9.5</price></Product></catalog>",
+    )
+    return QueryEngine(repository)
+
+
+class TestSources:
+    def test_star_source(self, engine):
+        result = engine.evaluate("select m from */name m")
+        assert len(result) == 1
+
+    def test_doc_source_missing_url_raises(self, engine):
+        with pytest.raises(DocumentNotFound):
+            engine.evaluate('select x from doc("http://nope/")/a x')
+
+    def test_override_document_ignores_warehouse(self, engine):
+        standalone = parse("<list><name>standalone</name></list>")
+        result = engine.evaluate_on_document(
+            "select n from list/name n", standalone
+        )
+        assert [item.text_content() for item in result] == ["standalone"]
+
+    def test_from_binding_attribute_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.evaluate("select p from culture/painting@year p")
+
+
+class TestComparisonSemantics:
+    def test_numeric_comparison_on_floats(self, engine):
+        result = engine.evaluate(
+            "select p from commerce/catalog c, c/Product p"
+            " where p/price < 10"
+        )
+        assert len(result) == 1
+
+    def test_not_equals(self, engine):
+        result = engine.evaluate(
+            'select m/name from culture/museum m where m/name != "Z"'
+        )
+        assert len(result) == 1
+
+    def test_missing_path_condition_is_false(self, engine):
+        result = engine.evaluate(
+            "select m from culture/museum m where m/nonexistent = 1"
+        )
+        assert len(result) == 0
+
+    def test_condition_on_attribute_path(self, engine):
+        result = engine.evaluate(
+            "select p from culture/museum m, m/painting p"
+            " where p@year >= 1700"
+        )
+        assert len(result) == 1
+
+
+class TestResults:
+    def test_result_name_precedence(self, engine):
+        named = engine.evaluate("select m from culture/museum m", name="X")
+        assert named.to_element().tag == "X"
+        default = engine.evaluate("select m from culture/museum m")
+        assert default.to_element().tag == "result"
+
+    def test_attribute_values_wrapped_in_value_elements(self, engine):
+        result = engine.evaluate(
+            "select p@year from culture/museum m, m/painting p"
+        )
+        xml = result.to_xml()
+        assert "<value>1700</value>" in xml
+
+    def test_result_iteration_and_len(self, engine):
+        result = engine.evaluate("select m from culture/museum m")
+        assert len(result) == len(list(result))

@@ -1,0 +1,117 @@
+import pytest
+
+from repro.errors import QueryError
+from repro.query import parse_query
+from repro.query.ast import (
+    OP_CONTAINS,
+    OP_STRICT_CONTAINS,
+    SOURCE_DOCUMENT,
+    SOURCE_DOMAIN,
+    SOURCE_VARIABLE,
+)
+from repro.query.parser import resolve_sources
+
+
+class TestFromClauses:
+    def test_paper_amsterdam_query(self):
+        query = parse_query(
+            'select p/title from culture/museum m, m/painting p '
+            'where m/address contains "Amsterdam"'
+        )
+        query = resolve_sources(query, None)
+        first, second = query.from_clauses
+        assert first.source_kind == SOURCE_DOMAIN
+        assert first.source_name == "culture"
+        assert first.variable == "m"
+        assert second.source_kind == SOURCE_VARIABLE
+        assert second.source_name == "m"
+
+    def test_doc_source(self):
+        query = parse_query(
+            'select x from doc("http://a/b.xml")//Member x'
+        )
+        clause = query.from_clauses[0]
+        assert clause.source_kind == SOURCE_DOCUMENT
+        assert clause.source_name == "http://a/b.xml"
+
+    def test_variable_chain_resolution(self):
+        query = resolve_sources(
+            parse_query("select c from shop/a a, a/b b, b/c c"), None
+        )
+        kinds = [clause.source_kind for clause in query.from_clauses]
+        assert kinds == [SOURCE_DOMAIN, SOURCE_VARIABLE, SOURCE_VARIABLE]
+
+    def test_descendant_axis_in_from(self):
+        query = parse_query("select x from culture//painting x")
+        clause = query.from_clauses[0]
+        assert clause.path.steps[0].axis == "descendant"
+
+
+class TestWhere:
+    def test_contains(self):
+        query = parse_query(
+            'select m from culture/museum m where m contains "camera"'
+        )
+        condition = query.conditions[0]
+        assert condition.op == OP_CONTAINS
+        assert condition.literal == "camera"
+
+    def test_strict_contains(self):
+        query = parse_query(
+            'select m from culture/museum m where m strict contains "x"'
+        )
+        assert query.conditions[0].op == OP_STRICT_CONTAINS
+
+    def test_comparisons(self):
+        query = parse_query(
+            "select p from culture/painting p where p/year >= 1600"
+        )
+        assert query.conditions[0].op == ">="
+        assert query.conditions[0].literal == "1600"
+
+    def test_multiple_conditions(self):
+        query = parse_query(
+            'select p from c/m m, m/p p where m contains "a" and p/y < 5'
+        )
+        assert len(query.conditions) == 2
+
+    def test_condition_on_path(self):
+        query = parse_query(
+            'select m from c/museum m where m/address contains "Amsterdam"'
+        )
+        assert query.conditions[0].path is not None
+
+
+class TestSelect:
+    def test_multiple_items(self):
+        query = parse_query("select p/title, p/year from c/p p")
+        assert len(query.select_items) == 2
+
+    def test_attribute_item(self):
+        query = parse_query("select m@id from c/m m")
+        assert query.select_items[0].path.attribute == "id"
+
+    def test_bare_variable(self):
+        query = parse_query("select m from c/m m")
+        assert query.select_items[0].path is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "select",
+            "select x",
+            "select x from",
+            "select x from c/m",              # missing variable
+            "select zz from c/m m",           # unbound select variable
+            "select m from c/m m where zz contains 'x'",
+            "select m from c/m m where m ~ 'x'",
+            "select m from c/m m where m contains",
+            "select m from c/m m extra",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)

@@ -1,0 +1,112 @@
+from repro.clock import SECONDS_PER_DAY, SECONDS_PER_WEEK
+from repro.language.ast import (
+    CountCondition,
+    ImmediateCondition,
+    PeriodicCondition,
+    ReportCondition,
+)
+from repro.reporting import BufferState, condition_holds, has_periodic_term
+from repro.reporting.conditions import shortest_period
+
+
+def condition(*terms):
+    return ReportCondition(terms=tuple(terms))
+
+
+class TestImmediate:
+    def test_fires_on_any_notification(self):
+        state = BufferState(now=0.0)
+        state.record_arrivals(None, 1, 0.0)
+        assert condition_holds(condition(ImmediateCondition()), state, 0.0)
+
+    def test_does_not_fire_on_empty_buffer(self):
+        state = BufferState(now=0.0)
+        assert not condition_holds(
+            condition(ImmediateCondition()), state, 0.0
+        )
+
+
+class TestCounts:
+    def test_total_count_threshold(self):
+        state = BufferState(now=0.0)
+        term = CountCondition(threshold=3)
+        state.record_arrivals(None, 2, 0.0)
+        assert not condition_holds(condition(term), state, 0.0)
+        state.record_arrivals(None, 1, 0.0)
+        assert condition_holds(condition(term), state, 0.0)
+
+    def test_named_query_count(self):
+        state = BufferState(now=0.0)
+        term = CountCondition(threshold=2, query_name="UpdatedPage")
+        state.record_arrivals("Other", 5, 0.0)
+        assert not condition_holds(condition(term), state, 0.0)
+        state.record_arrivals("UpdatedPage", 2, 0.0)
+        assert condition_holds(condition(term), state, 0.0)
+
+
+class TestPeriodic:
+    def test_fires_after_period(self):
+        state = BufferState(now=0.0)
+        term = PeriodicCondition(frequency="daily")
+        assert not condition_holds(condition(term), state, 1000.0)
+        assert condition_holds(condition(term), state, SECONDS_PER_DAY)
+
+    def test_period_measured_from_last_report(self):
+        state = BufferState(now=0.0)
+        term = PeriodicCondition(frequency="daily")
+        state.reset_after_report(now=SECONDS_PER_DAY)
+        assert not condition_holds(
+            condition(term), state, SECONDS_PER_DAY + 100
+        )
+        assert condition_holds(condition(term), state, 2 * SECONDS_PER_DAY)
+
+    def test_biweekly_means_twice_a_week(self):
+        term = PeriodicCondition(frequency="biweekly")
+        state = BufferState(now=0.0)
+        assert condition_holds(condition(term), state, SECONDS_PER_WEEK / 2)
+
+
+class TestDisjunction:
+    def test_any_term_fires(self):
+        state = BufferState(now=0.0)
+        terms = condition(
+            CountCondition(threshold=100), ImmediateCondition()
+        )
+        state.record_arrivals(None, 1, 0.0)
+        assert condition_holds(terms, state, 0.0)
+
+    def test_no_term_fires(self):
+        state = BufferState(now=0.0)
+        terms = condition(
+            CountCondition(threshold=100),
+            PeriodicCondition(frequency="weekly"),
+        )
+        state.record_arrivals(None, 1, 0.0)
+        assert not condition_holds(terms, state, 10.0)
+
+
+class TestBufferState:
+    def test_reset_clears_everything(self):
+        state = BufferState(now=0.0)
+        state.record_arrivals("Q", 5, 10.0)
+        state.reset_after_report(now=20.0)
+        assert state.total_count == 0
+        assert state.counts_by_query == {}
+        assert state.last_report_at == 20.0
+        assert state.last_arrival_at is None
+
+
+class TestIntrospection:
+    def test_has_periodic_term(self):
+        assert has_periodic_term(
+            condition(PeriodicCondition(frequency="daily"))
+        )
+        assert not has_periodic_term(condition(ImmediateCondition()))
+
+    def test_shortest_period(self):
+        mixed = condition(
+            PeriodicCondition(frequency="weekly"),
+            PeriodicCondition(frequency="daily"),
+        )
+        assert shortest_period(mixed) == SECONDS_PER_DAY
+        assert shortest_period(condition(ImmediateCondition())) is None

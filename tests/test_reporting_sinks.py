@@ -1,0 +1,98 @@
+from repro.clock import SECONDS_PER_DAY, SimulatedClock
+from repro.language.frequencies import period_seconds
+from repro.reporting import EmailSink, ReportArchive, WebPublisher
+
+
+class TestEmailSink:
+    def test_send_records_message(self):
+        sink = EmailSink(clock=SimulatedClock(0.0))
+        assert sink.send("u@x", "subject", "body")
+        assert sink.total_sent == 1
+        assert sink.sent[0].recipient == "u@x"
+
+    def test_daily_capacity_defers_to_backlog(self):
+        clock = SimulatedClock(0.0)
+        sink = EmailSink(clock=clock, daily_capacity=3)
+        for i in range(5):
+            sink.send("u@x", "s", f"b{i}")
+        assert sink.total_sent == 3
+        assert sink.total_deferred == 2
+        assert len(sink.backlog) == 2
+
+    def test_backlog_drained_next_day(self):
+        clock = SimulatedClock(0.0)
+        sink = EmailSink(clock=clock, daily_capacity=3)
+        for i in range(5):
+            sink.send("u@x", "s", f"b{i}")
+        clock.advance(SECONDS_PER_DAY)
+        drained = sink.drain_backlog()
+        assert drained == 2
+        assert sink.total_sent == 5
+        assert sink.backlog == []
+
+    def test_per_day_accounting(self):
+        clock = SimulatedClock(0.0)
+        sink = EmailSink(clock=clock, daily_capacity=100)
+        sink.send("u@x", "s", "b")
+        clock.advance(SECONDS_PER_DAY)
+        sink.send("u@x", "s", "b")
+        sink.send("u@x", "s", "b")
+        assert sink.sent_on_day(0) == 1
+        assert sink.sent_on_day(1) == 2
+
+    def test_kept_messages_bounded(self):
+        sink = EmailSink(clock=SimulatedClock(0.0), keep_messages=5)
+        for i in range(20):
+            sink.send("u@x", "s", f"b{i}")
+        assert len(sink.sent) == 5
+        assert sink.sent[-1].body == "b19"
+        assert sink.total_sent == 20
+
+
+class TestWebPublisher:
+    def test_publish_and_fetch(self):
+        publisher = WebPublisher()
+        number = publisher.publish(1, "<Report/>")
+        assert publisher.fetch(1, number) == "<Report/>"
+
+    def test_fetch_latest_by_default(self):
+        publisher = WebPublisher()
+        publisher.publish(1, "first")
+        publisher.publish(1, "second")
+        assert publisher.fetch(1) == "second"
+
+    def test_unknown_subscription(self):
+        assert WebPublisher().fetch(9) is None
+
+    def test_retention_bounded(self):
+        publisher = WebPublisher(keep_per_subscription=3)
+        for i in range(10):
+            publisher.publish(1, f"r{i}")
+        assert publisher.count(1) == 3
+        assert publisher.fetch(1, 0) == "r7"
+
+
+class TestReportArchive:
+    def test_archive_sets_expiry(self):
+        clock = SimulatedClock(0.0)
+        archive = ReportArchive(clock)
+        report = archive.archive(1, "<Report/>", "monthly")
+        assert report.expires_at == period_seconds("monthly")
+
+    def test_garbage_collect_drops_expired(self):
+        clock = SimulatedClock(0.0)
+        archive = ReportArchive(clock)
+        archive.archive(1, "old", "daily")
+        archive.archive(1, "fresh", "monthly")
+        clock.advance(2 * SECONDS_PER_DAY)
+        collected = archive.garbage_collect()
+        assert collected == 1
+        bodies = [report.body for report in archive.reports_for(1)]
+        assert bodies == ["fresh"]
+
+    def test_drop_subscription(self):
+        clock = SimulatedClock(0.0)
+        archive = ReportArchive(clock)
+        archive.archive(1, "x", "monthly")
+        archive.drop_subscription(1)
+        assert archive.reports_for(1) == []

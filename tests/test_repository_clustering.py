@@ -1,0 +1,118 @@
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import DocumentNotFound, RepositoryError
+from repro.repository import ClusteredRepository, SemanticClassifier
+from repro.xmlstore import serialize
+
+
+@pytest.fixture
+def clustered(classifier, clock):
+    return ClusteredRepository(
+        shard_count=3, classifier=classifier, clock=clock
+    )
+
+
+def museum(name):
+    return f"<museum><name>{name}</name><painting/></museum>"
+
+
+def catalog(name):
+    return f"<catalog><vendor>{name}</vendor><Product/></catalog>"
+
+
+class TestPlacement:
+    def test_same_domain_lands_on_one_shard(self, clustered):
+        for i in range(9):
+            clustered.store_xml(f"http://m{i}.example/c.xml", museum(str(i)))
+        home = clustered.shard_for_domain("culture")
+        assert len(clustered.shards[home]) == 9
+        assert clustered.domain_locality() == 1.0
+
+    def test_different_domains_spread(self, clustered):
+        for i in range(4):
+            clustered.store_xml(f"http://m{i}.example/c.xml", museum(str(i)))
+        for i in range(4):
+            clustered.store_xml(
+                f"http://s{i}.example/cat.xml", catalog(str(i))
+            )
+        assert clustered.shard_for_domain("culture") != (
+            clustered.shard_for_domain("commerce")
+        )
+
+    def test_unclassified_documents_hash_spread(self, clustered):
+        for i in range(30):
+            clustered.store_xml(f"http://u{i}.example/x.xml", "<blob/>")
+        sizes = clustered.shard_sizes()
+        assert sum(sizes) == 30
+        assert max(sizes) < 30
+
+    def test_refetch_stays_on_same_shard(self, clustered, clock):
+        clustered.store_xml("http://m.example/c.xml", museum("a"))
+        clock.advance(10)
+        outcome = clustered.store_xml("http://m.example/c.xml", museum("b"))
+        assert outcome.status == "updated"
+        assert len(clustered) == 1
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(RepositoryError):
+            ClusteredRepository(shard_count=0)
+
+
+class TestReads:
+    def test_lookup_by_url(self, clustered):
+        clustered.store_xml("http://m.example/c.xml", museum("rijks"))
+        assert clustered.has_url("http://m.example/c.xml")
+        meta = clustered.meta_for_url("http://m.example/c.xml")
+        assert meta.domain == "culture"
+        document = clustered.document_for_url("http://m.example/c.xml")
+        assert "rijks" in serialize(document)
+
+    def test_domain_documents_served_by_home_shard(self, clustered):
+        for i in range(5):
+            clustered.store_xml(f"http://m{i}.example/c.xml", museum(str(i)))
+        documents = clustered.documents_in_domain("culture")
+        assert len(documents) == 5
+
+    def test_unknown_domain_empty(self, clustered):
+        assert clustered.documents_in_domain("nothing") == []
+
+    def test_missing_url_raises(self, clustered):
+        with pytest.raises(DocumentNotFound):
+            clustered.meta_for_url("http://missing/")
+
+    def test_all_meta_spans_shards(self, clustered):
+        clustered.store_xml("http://m.example/c.xml", museum("a"))
+        clustered.store_html("http://h.example/p.html", "<html/>")
+        assert len(list(clustered.all_meta())) == 2
+
+
+class TestRemoval:
+    def test_remove(self, clustered):
+        clustered.store_xml("http://m.example/c.xml", museum("a"))
+        clustered.remove("http://m.example/c.xml")
+        assert not clustered.has_url("http://m.example/c.xml")
+        assert len(clustered) == 0
+
+    def test_remove_unknown_raises(self, clustered):
+        with pytest.raises(DocumentNotFound):
+            clustered.remove("http://missing/")
+
+
+class TestBalancing:
+    def test_new_domains_prefer_least_loaded_shard(self, clock):
+        classifier = SemanticClassifier()
+        for domain in ("d1", "d2", "d3", "d4"):
+            classifier.add_rule(domain, [f"root{domain}"])
+        clustered = ClusteredRepository(
+            shard_count=2, classifier=classifier, clock=clock
+        )
+        # Fill d1 heavily on its home shard, then check d2 goes elsewhere.
+        for i in range(6):
+            clustered.store_xml(
+                f"http://a{i}.example/x.xml", "<rootd1><x/></rootd1>"
+            )
+        clustered.store_xml("http://b.example/x.xml", "<rootd2><x/></rootd2>")
+        assert clustered.shard_for_domain("d2") != (
+            clustered.shard_for_domain("d1")
+        )

@@ -1,0 +1,80 @@
+from repro.repository import WarehouseIndexes
+from repro.xmlstore import parse
+
+
+def make_indexes():
+    indexes = WarehouseIndexes()
+    indexes.index_document(
+        1,
+        parse(
+            '<!DOCTYPE c SYSTEM "http://d/c.dtd">'
+            "<catalog><Product>digital camera</Product></catalog>"
+        ),
+        domain="commerce",
+    )
+    indexes.index_document(
+        2, parse("<museum><painting>camera obscura</painting></museum>"),
+        domain="culture",
+    )
+    return indexes
+
+
+class TestLookups:
+    def test_word_lookup(self):
+        indexes = make_indexes()
+        assert indexes.documents_with_word("camera") == {1, 2}
+        assert indexes.documents_with_word("digital") == {1}
+
+    def test_tag_lookup(self):
+        indexes = make_indexes()
+        assert indexes.documents_with_tag("Product") == {1}
+        assert indexes.documents_with_tag("museum") == {2}
+
+    def test_dtd_lookup(self):
+        indexes = make_indexes()
+        assert indexes.documents_with_dtd("http://d/c.dtd") == {1}
+
+    def test_domain_lookup(self):
+        indexes = make_indexes()
+        assert indexes.documents_in_domain("commerce") == {1}
+
+    def test_unknown_keys_empty(self):
+        indexes = make_indexes()
+        assert indexes.documents_with_word("zzz") == set()
+        assert indexes.documents_in_domain("zzz") == set()
+
+    def test_word_frequency(self):
+        indexes = make_indexes()
+        assert indexes.word_frequency("camera") == 2
+        assert indexes.word_frequency("zzz") == 0
+
+    def test_words_are_casefolded(self):
+        indexes = WarehouseIndexes()
+        indexes.index_document(5, parse("<a>CAMERA</a>"))
+        assert indexes.documents_with_word("camera") == {5}
+
+
+class TestMaintenance:
+    def test_reindex_replaces_postings(self):
+        indexes = make_indexes()
+        indexes.index_document(1, parse("<other>fresh words</other>"))
+        assert indexes.documents_with_word("digital") == set()
+        assert indexes.documents_with_word("fresh") == {1}
+        assert indexes.documents_with_tag("Product") == set()
+
+    def test_unindex_removes_everything(self):
+        indexes = make_indexes()
+        indexes.unindex_document(1)
+        assert indexes.documents_with_word("digital") == set()
+        assert indexes.documents_with_dtd("http://d/c.dtd") == set()
+        assert indexes.documents_in_domain("commerce") == set()
+
+    def test_unindex_unknown_doc_is_noop(self):
+        indexes = make_indexes()
+        indexes.unindex_document(99)
+        assert indexes.documents_with_word("camera") == {1, 2}
+
+    def test_vocabulary_size(self):
+        indexes = WarehouseIndexes()
+        indexes.index_document(1, parse("<a>one two two</a>"))
+        assert indexes.vocabulary_size() == 2

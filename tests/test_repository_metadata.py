@@ -1,0 +1,35 @@
+from repro.repository import DocumentMeta, filename_of
+from repro.repository.metadata import HTML, XML
+
+
+class TestFilenameOf:
+    def test_simple_tail(self):
+        assert filename_of("http://inria.fr/Xy/index.html") == "index.html"
+
+    def test_trailing_slash(self):
+        assert filename_of("http://inria.fr/Xy/") == "Xy"
+
+    def test_query_string_stripped(self):
+        assert filename_of("http://x/a.xml?version=2") == "a.xml"
+
+    def test_fragment_stripped(self):
+        assert filename_of("http://x/a.xml#top") == "a.xml"
+
+    def test_paper_example(self):
+        # Section 5.1: "filename is the tail of an URL (e.g., index.html)".
+        assert filename_of("http://www.site.com/deep/path/Xyleme2000.xml") == (
+            "Xyleme2000.xml"
+        )
+
+
+class TestDocumentMeta:
+    def test_filename_derived_from_url(self):
+        meta = DocumentMeta(doc_id=1, url="http://x/y/catalog.xml")
+        assert meta.filename == "catalog.xml"
+
+    def test_is_xml(self):
+        assert DocumentMeta(doc_id=1, url="http://x/a", kind=XML).is_xml
+        assert not DocumentMeta(doc_id=1, url="http://x/a", kind=HTML).is_xml
+
+    def test_default_importance(self):
+        assert DocumentMeta(doc_id=1, url="http://x/a").importance == 1.0

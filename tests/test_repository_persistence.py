@@ -1,0 +1,127 @@
+import pytest
+
+from repro.errors import RepositoryError
+from repro.repository import (
+    Repository,
+    SemanticClassifier,
+    load_repository,
+    save_repository,
+)
+from repro.xmlstore import serialize
+
+
+@pytest.fixture
+def snapshot_dir(tmp_path):
+    return str(tmp_path / "warehouse")
+
+
+def fresh_repository(classifier, clock):
+    return Repository(classifier=classifier, clock=clock)
+
+
+class TestSaveLoad:
+    def test_roundtrip_documents_and_metadata(
+        self, repository, classifier, clock, snapshot_dir
+    ):
+        repository.store_xml(
+            "http://m.example/c.xml",
+            '<!DOCTYPE museum SYSTEM "http://d/m.dtd">'
+            "<museum><painting>art</painting></museum>",
+        )
+        repository.store_html("http://h.example/p.html", "<html>x</html>")
+        count = save_repository(repository, snapshot_dir)
+        assert count == 2
+
+        loaded = fresh_repository(classifier, clock)
+        assert load_repository(loaded, snapshot_dir) == 2
+        meta = loaded.meta_for_url("http://m.example/c.xml")
+        assert meta.domain == "culture"
+        assert meta.dtd_url == "http://d/m.dtd"
+        document = loaded.document_for_url("http://m.example/c.xml")
+        assert "painting" in serialize(document)
+
+    def test_indexes_rebuilt_on_load(
+        self, repository, classifier, clock, snapshot_dir
+    ):
+        repository.store_xml("http://x/a.xml", "<r>findme word</r>")
+        save_repository(repository, snapshot_dir)
+        loaded = fresh_repository(classifier, clock)
+        load_repository(loaded, snapshot_dir)
+        assert loaded.indexes.documents_with_word("findme") != set()
+
+    def test_diff_continuity_after_reload(
+        self, repository, classifier, clock, snapshot_dir
+    ):
+        """A refetch after reload diffs against the reloaded version:
+        XIDs survive the snapshot."""
+        repository.store_xml(
+            "http://x/a.xml", "<members><Member><name>a</name></Member></members>"
+        )
+        save_repository(repository, snapshot_dir)
+        loaded = fresh_repository(classifier, clock)
+        load_repository(loaded, snapshot_dir)
+        clock.advance(60)
+        outcome = loaded.store_xml(
+            "http://x/a.xml",
+            "<members><Member><name>a</name></Member>"
+            "<Member><name>b</name></Member></members>",
+        )
+        assert outcome.status == "updated"
+        assert outcome.delta is not None
+        assert len(outcome.delta.inserts) == 1
+
+    def test_doc_ids_continue_after_reload(
+        self, repository, classifier, clock, snapshot_dir
+    ):
+        repository.store_xml("http://x/a.xml", "<r/>")
+        save_repository(repository, snapshot_dir)
+        loaded = fresh_repository(classifier, clock)
+        load_repository(loaded, snapshot_dir)
+        outcome = loaded.store_xml("http://x/b.xml", "<s/>")
+        assert outcome.meta.doc_id == 2
+
+    def test_unchanged_refetch_after_reload(
+        self, repository, classifier, clock, snapshot_dir
+    ):
+        repository.store_xml("http://x/a.xml", "<r><a>1</a></r>")
+        save_repository(repository, snapshot_dir)
+        loaded = fresh_repository(classifier, clock)
+        load_repository(loaded, snapshot_dir)
+        outcome = loaded.store_xml("http://x/a.xml", "<r><a>1</a></r>")
+        assert outcome.status == "unchanged"
+
+
+class TestErrors:
+    def test_load_into_nonempty_repository_rejected(
+        self, repository, snapshot_dir
+    ):
+        repository.store_xml("http://x/a.xml", "<r/>")
+        save_repository(repository, snapshot_dir)
+        with pytest.raises(RepositoryError):
+            load_repository(repository, snapshot_dir)
+
+    def test_missing_snapshot_rejected(
+        self, classifier, clock, tmp_path
+    ):
+        loaded = fresh_repository(classifier, clock)
+        with pytest.raises(RepositoryError):
+            load_repository(loaded, str(tmp_path / "nothing"))
+
+    def test_save_empty_repository(self, repository, snapshot_dir):
+        assert save_repository(repository, snapshot_dir) == 0
+
+
+class TestCrawlerPageRemoval:
+    def test_removed_page_not_fetched(self):
+        from repro.clock import SECONDS_PER_DAY, SimulatedClock
+        from repro.webworld import SimulatedCrawler, SiteGenerator
+
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        crawler.add_xml_page(
+            "http://a/x.xml", SiteGenerator(seed=1).catalog(2)
+        )
+        list(crawler.due_fetches())
+        crawler.remove_page("http://a/x.xml")
+        clock.advance(SECONDS_PER_DAY)
+        assert list(crawler.due_fetches()) == []

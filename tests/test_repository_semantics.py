@@ -1,0 +1,49 @@
+from repro.repository import SemanticClassifier
+from repro.xmlstore import parse
+
+
+class TestTagRules:
+    def test_matching_rule_classifies(self):
+        classifier = SemanticClassifier()
+        classifier.add_rule("culture", ["museum", "painting"])
+        doc = parse("<museum><painting/></museum>")
+        assert classifier.classify(doc) == "culture"
+
+    def test_threshold_respected(self):
+        classifier = SemanticClassifier()
+        classifier.add_rule("culture", ["museum", "painting"], threshold=2)
+        assert classifier.classify(parse("<museum/>")) is None
+        assert classifier.classify(parse("<museum><painting/></museum>")) == (
+            "culture"
+        )
+
+    def test_best_scoring_rule_wins(self):
+        classifier = SemanticClassifier()
+        classifier.add_rule("a", ["x", "y"])
+        classifier.add_rule("b", ["x", "y", "z"])
+        doc = parse("<x><y/><z/></x>")
+        assert classifier.classify(doc) == "b"
+
+    def test_no_rules_returns_none(self):
+        assert SemanticClassifier().classify(parse("<a/>")) is None
+
+
+class TestDTDAssignments:
+    def test_dtd_assignment_takes_priority(self):
+        classifier = SemanticClassifier()
+        classifier.add_rule("culture", ["museum"])
+        classifier.assign_dtd("http://d/m.dtd", "special")
+        doc = parse('<!DOCTYPE museum SYSTEM "http://d/m.dtd"><museum/>')
+        assert classifier.classify(doc) == "special"
+
+    def test_unassigned_dtd_falls_back_to_rules(self):
+        classifier = SemanticClassifier()
+        classifier.add_rule("culture", ["museum"])
+        doc = parse('<!DOCTYPE museum SYSTEM "http://d/other.dtd"><museum/>')
+        assert classifier.classify(doc) == "culture"
+
+    def test_domains_listing(self):
+        classifier = SemanticClassifier()
+        classifier.add_rule("b", ["x"])
+        classifier.add_rule("a", ["y"])
+        assert list(classifier.domains()) == ["a", "b"]

@@ -1,0 +1,156 @@
+import pytest
+
+from repro.diff import DOC_NEW, DOC_UNCHANGED, DOC_UPDATED
+from repro.errors import DocumentNotFound, RepositoryError
+from repro.xmlstore import serialize
+
+
+class TestStoreXML:
+    def test_first_store_is_new(self, repository):
+        outcome = repository.store_xml("http://x/a.xml", "<r><a/></r>")
+        assert outcome.status == DOC_NEW
+        assert outcome.meta.version == 1
+        assert outcome.is_new and outcome.changed
+
+    def test_unchanged_refetch(self, repository, clock):
+        repository.store_xml("http://x/a.xml", "<r><a/></r>")
+        clock.advance(10)
+        outcome = repository.store_xml("http://x/a.xml", "<r><a/></r>")
+        assert outcome.status == DOC_UNCHANGED
+        assert outcome.meta.version == 1
+        assert not outcome.changed
+
+    def test_updated_refetch_produces_delta(self, repository, clock):
+        repository.store_xml("http://x/a.xml", "<r><a/></r>")
+        clock.advance(10)
+        outcome = repository.store_xml("http://x/a.xml", "<r><a/><b/></r>")
+        assert outcome.status == DOC_UPDATED
+        assert outcome.meta.version == 2
+        assert outcome.delta is not None and len(outcome.delta.inserts) == 1
+        assert outcome.old_document is not None
+
+    def test_last_accessed_and_updated_tracked(self, repository, clock):
+        repository.store_xml("http://x/a.xml", "<r/>")
+        first_time = clock.now()
+        clock.advance(100)
+        repository.store_xml("http://x/a.xml", "<r/>")
+        meta = repository.meta_for_url("http://x/a.xml")
+        assert meta.last_updated == first_time
+        assert meta.last_accessed == first_time + 100
+
+    def test_domain_classified_on_store(self, repository):
+        outcome = repository.store_xml(
+            "http://m/c.xml", "<museum><painting/></museum>"
+        )
+        assert outcome.meta.domain == "culture"
+
+    def test_dtd_registered_on_store(self, repository):
+        outcome = repository.store_xml(
+            "http://x/a.xml",
+            '<!DOCTYPE r SYSTEM "http://d/r.dtd"><r/>',
+        )
+        assert outcome.meta.dtd_url == "http://d/r.dtd"
+        assert outcome.meta.dtd_id is not None
+
+    def test_root_change_restarts_lineage(self, repository, clock):
+        repository.store_xml("http://x/a.xml", "<old/>")
+        clock.advance(5)
+        outcome = repository.store_xml("http://x/a.xml", "<new/>")
+        assert outcome.status == DOC_UPDATED
+        assert outcome.delta is None
+        assert outcome.old_document.root.tag == "old"
+        assert repository.retained_versions(outcome.meta.doc_id) == [2]
+
+    def test_html_url_cannot_become_xml(self, repository):
+        repository.store_html("http://x/p", "<html>hi</html>")
+        with pytest.raises(RepositoryError):
+            repository.store_xml("http://x/p", "<r/>")
+
+
+class TestStoreHTML:
+    def test_new_then_unchanged_then_updated(self, repository):
+        first = repository.store_html("http://x/p.html", "<html>v1</html>")
+        assert first.status == DOC_NEW
+        same = repository.store_html("http://x/p.html", "<html>v1</html>")
+        assert same.status == DOC_UNCHANGED
+        changed = repository.store_html("http://x/p.html", "<html>v2</html>")
+        assert changed.status == DOC_UPDATED
+        assert changed.meta.version == 2
+
+    def test_html_not_warehoused(self, repository):
+        outcome = repository.store_html("http://x/p.html", "<html/>")
+        with pytest.raises(RepositoryError):
+            repository.document(outcome.meta.doc_id)
+
+
+class TestVersions:
+    def test_reconstruct_older_versions(self, repository, clock):
+        url = "http://x/a.xml"
+        repository.store_xml(url, "<r><a>1</a></r>")
+        clock.advance(1)
+        repository.store_xml(url, "<r><a>2</a></r>")
+        clock.advance(1)
+        repository.store_xml(url, "<r><a>2</a><b/></r>")
+        doc_id = repository.meta_for_url(url).doc_id
+        assert repository.retained_versions(doc_id) == [3, 2, 1]
+        v1 = repository.version(doc_id, 1)
+        assert serialize(v1) == "<r><a>1</a></r>"
+        v2 = repository.version(doc_id, 2)
+        assert serialize(v2) == "<r><a>2</a></r>"
+
+    def test_version_retention_bounded(self, classifier, clock):
+        from repro.repository import Repository
+
+        repository = Repository(
+            classifier=classifier, clock=clock, keep_versions=3
+        )
+        url = "http://x/a.xml"
+        for i in range(6):
+            repository.store_xml(url, f"<r><a>{i}</a></r>")
+            clock.advance(1)
+        doc_id = repository.meta_for_url(url).doc_id
+        retained = repository.retained_versions(doc_id)
+        assert retained[0] == 6
+        assert len(retained) == 3
+        with pytest.raises(RepositoryError):
+            repository.version(doc_id, 1)
+
+    def test_current_version_is_a_copy(self, repository):
+        repository.store_xml("http://x/a.xml", "<r><a>1</a></r>")
+        doc_id = repository.meta_for_url("http://x/a.xml").doc_id
+        doc = repository.document(doc_id)
+        doc.root.children[0].detach()
+        assert serialize(repository.document(doc_id)) == "<r><a>1</a></r>"
+
+
+class TestLookupsAndRemoval:
+    def test_lookup_by_url_and_id(self, repository):
+        outcome = repository.store_xml("http://x/a.xml", "<r/>")
+        assert repository.meta(outcome.meta.doc_id).url == "http://x/a.xml"
+        assert repository.has_url("http://x/a.xml")
+
+    def test_missing_lookups_raise(self, repository):
+        with pytest.raises(DocumentNotFound):
+            repository.meta_for_url("http://missing/")
+        with pytest.raises(DocumentNotFound):
+            repository.document(123)
+
+    def test_remove(self, repository):
+        repository.store_xml("http://x/a.xml", "<r>word</r>")
+        doc_id = repository.meta_for_url("http://x/a.xml").doc_id
+        repository.remove("http://x/a.xml")
+        assert not repository.has_url("http://x/a.xml")
+        assert repository.indexes.documents_with_word("word") == set()
+        with pytest.raises(DocumentNotFound):
+            repository.document(doc_id)
+
+    def test_len_and_xml_ids(self, repository):
+        repository.store_xml("http://x/a.xml", "<r/>")
+        repository.store_html("http://x/p.html", "<html/>")
+        assert len(repository) == 2
+        assert len(repository.xml_doc_ids()) == 1
+
+    def test_add_importance(self, repository):
+        repository.store_xml("http://x/a.xml", "<r/>")
+        repository.add_importance("http://x/a.xml", 2.5)
+        assert repository.meta_for_url("http://x/a.xml").importance == 3.5

@@ -1,0 +1,82 @@
+"""Structural property tests: bookkeeping stays consistent under churn."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alerters import PrefixHashTable, PrefixTrie
+from repro.core import AESMatcher
+
+# (prefix, code) operations; removal mirrors a previous add.
+prefix_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["http://a/", "http://a/b/", "http://c/", "x"]),
+        st.integers(0, 6),
+    ),
+    max_size=25,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(prefix_ops, st.data())
+def test_prefix_hash_length_index_consistent(ops, data):
+    """After arbitrary add/remove interleavings, the fast length-indexed
+    lookup equals the literal scan of every prefix."""
+    table = PrefixHashTable()
+    live = []
+    for prefix, code in ops:
+        if live and data.draw(st.booleans(), label="remove?"):
+            victim = live.pop(data.draw(
+                st.integers(0, len(live) - 1), label="victim"
+            ))
+            table.remove(*victim)
+        table.add(prefix, code)
+        live.append((prefix, code))
+    for url in ["http://a/b/c", "http://c/x", "xyz", "", "http://a/"]:
+        assert table.matches(url) == table.matches_scanning_all_prefixes(url)
+
+
+@settings(max_examples=80, deadline=None)
+@given(prefix_ops)
+def test_hash_and_trie_agree_after_removals(ops):
+    table = PrefixHashTable()
+    trie = PrefixTrie()
+    for index, (prefix, code) in enumerate(ops):
+        table.add(prefix, code)
+        trie.add(prefix, code)
+        if index % 3 == 2:
+            table.remove(prefix, code)
+            trie.remove(prefix, code)
+    for url in ["http://a/b/page", "http://c/", "xx", "http://a/"]:
+        assert table.matches(url) == trie.matches(url)
+
+
+aes_events = st.lists(
+    st.lists(st.integers(0, 20), min_size=1, max_size=4, unique=True),
+    min_size=1,
+    max_size=15,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(aes_events)
+def test_aes_structure_empty_after_removing_everything(events):
+    matcher = AESMatcher()
+    registered = []
+    for code, atomic in enumerate(events, start=1):
+        atomic = sorted(atomic)
+        matcher.add(code, atomic)
+        registered.append((code, atomic))
+    for code, atomic in registered:
+        matcher.remove(code, atomic)
+    stats = matcher.structure_stats()
+    assert stats["cells"] == 0
+    assert stats["marks"] == 0
+    assert len(matcher) == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(aes_events)
+def test_aes_marks_equal_registrations(events):
+    matcher = AESMatcher()
+    for code, atomic in enumerate(events, start=1):
+        matcher.add(code, sorted(atomic))
+    assert matcher.structure_stats()["marks"] == len(events)

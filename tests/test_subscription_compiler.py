@@ -1,0 +1,137 @@
+import pytest
+
+from repro.alerters import AlerterChain
+from repro.clock import SECONDS_PER_DAY, SimulatedClock
+from repro.core import MonitoringQueryProcessor
+from repro.language import parse_subscription
+from repro.reporting import Reporter
+from repro.subscription.compiler import (
+    DEFAULT_REPORT,
+    SubscriptionCompiler,
+)
+from repro.language.ast import ImmediateCondition
+
+
+@pytest.fixture
+def parts():
+    clock = SimulatedClock(1000.0)
+    processor = MonitoringQueryProcessor(clock=clock)
+    chain = AlerterChain()
+    reporter = Reporter(clock=clock)
+    compiler = SubscriptionCompiler(
+        processor=processor,
+        alerter_chain=chain,
+        trigger_engine=None,
+        reporter=reporter,
+    )
+    return processor, chain, reporter, compiler
+
+
+SOURCE = """
+subscription S
+monitoring Q
+select <Hit url=URL/>
+where URL extends "http://watched.example/"
+  and modified self
+refresh "http://watched.example/index.xml" weekly
+report when immediate
+"""
+
+
+class TestCompile:
+    def test_complex_event_registered(self, parts):
+        processor, _, _, compiler = parts
+        compiled = compiler.compile(1, parse_subscription(SOURCE), SOURCE)
+        assert len(compiled.complex_codes) == 1
+        assert len(processor.matcher) == 1
+
+    def test_binding_created_per_query(self, parts):
+        _, _, _, compiler = parts
+        compiled = compiler.compile(1, parse_subscription(SOURCE), SOURCE)
+        (binding,) = compiled.bindings.values()
+        assert binding.query_name == "Q"
+        assert binding.subscription_name == "S"
+
+    def test_unnamed_queries_get_sequential_names(self, parts):
+        _, _, _, compiler = parts
+        source = (
+            "subscription S\n"
+            "monitoring\nselect X\nfrom self//a X\nwhere URL = \"http://u/\"\n"
+            "monitoring\nselect X\nfrom self//b X\nwhere URL = \"http://v/\"\n"
+            "report when immediate"
+        )
+        compiled = compiler.compile(1, parse_subscription(source), source)
+        names = sorted(b.query_name for b in compiled.bindings.values())
+        assert names == ["Q1", "Q2"]
+
+    def test_report_registered(self, parts):
+        _, _, reporter, compiler = parts
+        compiler.compile(1, parse_subscription(SOURCE), SOURCE)
+        assert reporter.registered(1)
+
+    def test_default_report_when_section_missing(self, parts):
+        _, _, reporter, compiler = parts
+        source = (
+            "subscription S\nmonitoring\nselect X\nfrom self//a X\n"
+            'where URL = "http://u/"'
+        )
+        compiler.compile(2, parse_subscription(source), source)
+        assert reporter.registered(2)
+        assert isinstance(DEFAULT_REPORT.when.terms[0], ImmediateCondition)
+
+    def test_refresh_hints_collected(self, parts):
+        _, _, _, compiler = parts
+        compiled = compiler.compile(1, parse_subscription(SOURCE), SOURCE)
+        assert compiled.refresh_hints == {
+            "http://watched.example/index.xml": 7 * SECONDS_PER_DAY
+        }
+
+    def test_refresh_adds_importance_when_repository_present(self, parts):
+        from repro.repository import Repository
+
+        processor, chain, reporter, _ = parts
+        repository = Repository()
+        repository.store_xml("http://watched.example/index.xml", "<r/>")
+        compiler = SubscriptionCompiler(
+            processor=processor,
+            alerter_chain=chain,
+            trigger_engine=None,
+            reporter=reporter,
+            repository=repository,
+        )
+        compiler.compile(1, parse_subscription(SOURCE), SOURCE)
+        meta = repository.meta_for_url("http://watched.example/index.xml")
+        assert meta.importance > 1.0
+
+
+class TestRelease:
+    def test_release_empties_matcher_and_reporter(self, parts):
+        processor, _, reporter, compiler = parts
+        compiled = compiler.compile(1, parse_subscription(SOURCE), SOURCE)
+        compiler.release(compiled)
+        assert len(processor.matcher) == 0
+        assert not reporter.registered(1)
+        assert processor.registry.atomic_count() == 0
+
+    def test_release_keeps_shared_alerter_registrations(self, parts):
+        processor, chain, _, compiler = parts
+        first = compiler.compile(1, parse_subscription(SOURCE), SOURCE)
+        second_source = SOURCE.replace("subscription S", "subscription T")
+        second = compiler.compile(
+            2, parse_subscription(second_source), second_source
+        )
+        compiler.release(first)
+        # The shared URL-prefix event must still be detected for T.
+        from repro.alerters.context import FetchedDocument
+        from repro.repository import DocumentMeta
+        from repro.xmlstore import parse as parse_xml
+
+        fetched = FetchedDocument(
+            url="http://watched.example/p.xml",
+            meta=DocumentMeta(doc_id=1, url="http://watched.example/p.xml"),
+            status="updated",
+            document=parse_xml("<r/>"),
+        )
+        alert = chain.build_alert(fetched)
+        assert alert is not None
+        assert processor.process_alert(alert)

@@ -1,0 +1,102 @@
+import pytest
+
+from repro.errors import ResourceLimitError
+from repro.language import parse_subscription
+from repro.repository import WarehouseIndexes
+from repro.subscription import CostController
+from repro.xmlstore import parse
+
+
+def subscription_with_condition(condition):
+    return parse_subscription(
+        f"subscription T\nmonitoring\nselect X\nfrom self//a X\n"
+        f"where {condition}\nreport when immediate"
+    )
+
+
+class TestStopWords:
+    def test_contains_stop_word_rejected(self):
+        controller = CostController()
+        subscription = subscription_with_condition('self contains "the"')
+        with pytest.raises(ResourceLimitError):
+            controller.check_subscription(subscription)
+
+    def test_contains_content_word_accepted(self):
+        controller = CostController()
+        controller.check_subscription(
+            subscription_with_condition('self contains "camera"')
+        )
+
+    def test_element_contains_stop_word_rejected(self):
+        controller = CostController()
+        subscription = subscription_with_condition(
+            'Product contains "and"'
+        )
+        with pytest.raises(ResourceLimitError):
+            controller.check_subscription(subscription)
+
+    def test_privileged_user_bypasses(self):
+        controller = CostController()
+        subscription = subscription_with_condition('self contains "the"')
+        controller.check_subscription(subscription, privileged=True)
+
+
+class TestURLWidth:
+    def test_short_prefix_rejected(self):
+        controller = CostController(min_prefix_length=8)
+        subscription = subscription_with_condition('URL extends "http://"')
+        with pytest.raises(ResourceLimitError):
+            controller.check_subscription(subscription)
+
+    def test_long_prefix_accepted(self):
+        controller = CostController(min_prefix_length=8)
+        controller.check_subscription(
+            subscription_with_condition(
+                'URL extends "http://www.xyleme.com/"'
+            )
+        )
+
+
+class TestFrequencies:
+    def test_too_frequent_continuous_query_rejected(self):
+        controller = CostController(min_trigger_period="daily")
+        subscription = parse_subscription(
+            "subscription T\ncontinuous Q\nselect a from d/a a\nwhen hourly\n"
+            "report when immediate"
+        )
+        with pytest.raises(ResourceLimitError):
+            controller.check_subscription(subscription)
+
+    def test_too_frequent_refresh_rejected(self):
+        controller = CostController(min_trigger_period="daily")
+        subscription = parse_subscription(
+            'subscription T\nrefresh "http://u/" hourly'
+        )
+        with pytest.raises(ResourceLimitError):
+            controller.check_subscription(subscription)
+
+    def test_weekly_accepted(self):
+        controller = CostController(min_trigger_period="daily")
+        controller.check_subscription(
+            parse_subscription('subscription T\nrefresh "http://u/" weekly')
+        )
+
+
+class TestFrequencyViaIndexes:
+    def test_too_common_word_in_warehouse_rejected(self):
+        indexes = WarehouseIndexes()
+        for doc_id in range(10):
+            indexes.index_document(doc_id, parse("<a>popular term</a>"))
+        indexes.index_document(100, parse("<a>rare</a>"))
+        controller = CostController(
+            indexes=indexes,
+            total_documents=11,
+            max_word_document_fraction=0.5,
+        )
+        with pytest.raises(ResourceLimitError):
+            controller.check_subscription(
+                subscription_with_condition('self contains "popular"')
+            )
+        controller.check_subscription(
+            subscription_with_condition('self contains "rare"')
+        )

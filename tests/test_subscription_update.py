@@ -1,0 +1,114 @@
+"""In-place subscription updates (Section 4.1: "added, removed and
+updated while the system is running")."""
+
+import pytest
+
+from repro.errors import ResourceLimitError, SubscriptionError
+
+OLD = """
+subscription Evolving
+monitoring M
+select <Hit url=URL/>
+where URL extends "http://old-site.example/"
+report when immediate
+"""
+
+NEW = """
+subscription Evolving
+monitoring M
+select <Hit url=URL/>
+where URL extends "http://new-site.example/"
+report when immediate
+"""
+
+
+class TestUpdate:
+    def test_update_switches_matching(self, system, clock):
+        sub_id = system.subscribe(OLD, owner_email="u@x")
+        assert len(
+            system.feed_xml("http://old-site.example/a.xml", "<r/>")
+            .notifications
+        ) == 1
+        system.manager.update_subscription(sub_id, NEW)
+        assert (
+            system.feed_xml("http://old-site.example/b.xml", "<r/>")
+            .notifications
+            == []
+        )
+        assert len(
+            system.feed_xml("http://new-site.example/a.xml", "<r/>")
+            .notifications
+        ) == 1
+
+    def test_update_keeps_id_and_recipients(self, system):
+        sub_id = system.subscribe(
+            OLD, owner_email="u@x", recipients=("a@x", "b@x")
+        )
+        system.manager.update_subscription(sub_id, NEW)
+        compiled = system.manager.subscription(sub_id)
+        assert compiled.subscription_id == sub_id
+        assert compiled.recipients == ("a@x", "b@x")
+
+    def test_update_unknown_id_raises(self, system):
+        with pytest.raises(SubscriptionError):
+            system.manager.update_subscription(99, NEW)
+
+    def test_update_to_conflicting_name_rejected(self, system):
+        system.subscribe(OLD, owner_email="u@x")
+        other = system.subscribe(
+            OLD.replace("Evolving", "Other"), owner_email="u@x"
+        )
+        with pytest.raises(SubscriptionError):
+            system.manager.update_subscription(other, OLD)
+
+    def test_rename_via_update_allowed(self, system):
+        sub_id = system.subscribe(OLD, owner_email="u@x")
+        system.manager.update_subscription(
+            sub_id, NEW.replace("Evolving", "Renamed")
+        )
+        assert system.manager.subscription_id("Renamed") == sub_id
+        assert system.manager.subscription_id("Evolving") is None
+
+    def test_update_subject_to_cost_control(self, system):
+        sub_id = system.subscribe(OLD, owner_email="u@x")
+        expensive = NEW.replace(
+            'URL extends "http://new-site.example/"',
+            'self contains "the"',
+        )
+        with pytest.raises(ResourceLimitError):
+            system.manager.update_subscription(sub_id, expensive)
+
+    def test_inhibited_subscription_stays_inhibited(self, system):
+        sub_id = system.subscribe(OLD, owner_email="u@x")
+        system.manager.inhibit(sub_id)
+        system.manager.update_subscription(sub_id, NEW)
+        system.feed_xml("http://new-site.example/a.xml", "<r/>")
+        assert system.reporter.stats.reports_generated == 0
+
+    def test_update_persisted_for_recovery(self, system):
+        sub_id = system.subscribe(OLD, owner_email="u@x")
+        system.manager.update_subscription(sub_id, NEW)
+        row = system.manager.database.table("subscriptions").get(sub_id)
+        assert "new-site" in row["source"]
+
+
+class TestImportanceFromConditions:
+    def test_url_eq_condition_adds_importance(self, system):
+        system.feed_xml("http://mentioned.example/p.xml", "<r/>")
+        before = system.repository.meta_for_url(
+            "http://mentioned.example/p.xml"
+        ).importance
+        system.subscribe(
+            """
+            subscription Mention
+            monitoring M
+            select <Hit url=URL/>
+            where URL = "http://mentioned.example/p.xml"
+            report when immediate
+            """,
+            owner_email="u@x",
+        )
+        after = system.repository.meta_for_url(
+            "http://mentioned.example/p.xml"
+        ).importance
+        assert after > before

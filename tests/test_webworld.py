@@ -1,0 +1,224 @@
+from repro.clock import SECONDS_PER_DAY, SimulatedClock
+from repro.webworld import (
+    ChangeModel,
+    ChangeRates,
+    SimulatedCrawler,
+    SiteGenerator,
+    SyntheticWorkload,
+    WorkloadParams,
+    biased_document_sets,
+)
+from repro.xmlstore import parse, serialize
+from repro.diff import XidSpace, compute_delta
+
+
+class TestSiteGenerator:
+    def test_catalog_structure(self):
+        doc = SiteGenerator(seed=1).catalog(products=5)
+        assert doc.root.tag == "catalog"
+        assert len(list(doc.root.find_all("Product"))) == 5
+        assert doc.dtd_url is not None
+
+    def test_museum_structure(self):
+        doc = SiteGenerator(seed=1).museum(paintings=3, city="Amsterdam")
+        assert len(list(doc.root.find_all("painting"))) == 3
+        assert "Amsterdam" in doc.root.first("address").text_content()
+
+    def test_members_structure(self):
+        doc = SiteGenerator(seed=1).members(count=4)
+        assert len(list(doc.root.find_all("Member"))) == 4
+
+    def test_deterministic_given_seed(self):
+        a = serialize(SiteGenerator(seed=7).catalog(products=3))
+        b = serialize(SiteGenerator(seed=7).catalog(products=3))
+        assert a == b
+
+    def test_generated_documents_parse(self):
+        generator = SiteGenerator(seed=2)
+        for document in (
+            generator.catalog(4),
+            generator.museum(4),
+            generator.members(4),
+        ):
+            assert parse(serialize(document)).root.tag == document.root.tag
+
+    def test_generic_document_bounds(self):
+        doc = SiteGenerator(seed=3).generic_document(size=50, depth=4)
+        assert doc.depth() <= 5  # +1 for text nodes under leaf elements
+
+    def test_html_page(self):
+        html = SiteGenerator(seed=4).html_page(paragraphs=3)
+        assert html.startswith("<html>") and html.count("<p>") == 3
+
+
+class TestChangeModel:
+    def test_mutation_changes_content(self):
+        generator = SiteGenerator(seed=1)
+        model = ChangeModel(seed=2)
+        original = generator.catalog(products=5)
+        mutated = model.mutate(original)
+        assert serialize(mutated) != serialize(original)
+
+    def test_original_untouched(self):
+        generator = SiteGenerator(seed=1)
+        original = generator.catalog(products=5)
+        before = serialize(original)
+        ChangeModel(seed=2).mutate(original)
+        assert serialize(original) == before
+
+    def test_mutations_diffable(self):
+        generator = SiteGenerator(seed=1)
+        model = ChangeModel(seed=3)
+        v1 = generator.catalog(products=5)
+        v2 = model.mutate(v1)
+        space = XidSpace()
+        space.assign_fresh(v1.root)
+        delta = compute_delta(v1, v2, space)
+        assert delta  # something changed and the diff expresses it
+
+    def test_zero_rates_produce_identity(self):
+        rates = ChangeRates(
+            inserts=0, text_updates=0, deletes=0, attribute_updates=0
+        )
+        generator = SiteGenerator(seed=1)
+        model = ChangeModel(seed=2, rates=rates)
+        doc = generator.catalog(3)
+        assert serialize(model.mutate(doc)) == serialize(doc)
+
+
+class TestCrawler:
+    def test_pages_fetched_when_due(self):
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        crawler.add_xml_page(
+            "http://a/x.xml", SiteGenerator(seed=1).catalog(3)
+        )
+        fetches = list(crawler.due_fetches())
+        assert [f.url for f in fetches] == ["http://a/x.xml"]
+
+    def test_refetch_after_interval(self):
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        crawler.add_xml_page(
+            "http://a/x.xml", SiteGenerator(seed=1).catalog(3)
+        )
+        list(crawler.due_fetches())
+        assert list(crawler.due_fetches()) == []
+        clock.advance(SECONDS_PER_DAY)
+        assert len(list(crawler.due_fetches())) == 1
+
+    def test_importance_shortens_interval(self):
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        page = crawler.add_xml_page(
+            "http://a/x.xml", SiteGenerator(seed=1).catalog(3),
+            importance=4.0,
+        )
+        assert page.refresh_interval == SECONDS_PER_DAY / 4
+
+    def test_refresh_hints_shorten_interval(self):
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        crawler.add_xml_page(
+            "http://a/x.xml", SiteGenerator(seed=1).catalog(3)
+        )
+        crawler.apply_refresh_hints({"http://a/x.xml": 3600.0})
+        assert crawler.page("http://a/x.xml").refresh_interval == 3600.0
+
+    def test_content_changes_respect_probability(self):
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        crawler.add_xml_page(
+            "http://a/x.xml",
+            SiteGenerator(seed=1).catalog(3),
+            change_probability=0.0,
+        )
+        first = list(crawler.due_fetches())[0]
+        clock.advance(SECONDS_PER_DAY)
+        second = list(crawler.due_fetches())[0]
+        assert first.content == second.content
+
+    def test_html_pages(self):
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        crawler.add_html_page(
+            "http://a/i.html", "<html><body>x</body></html>",
+            change_probability=1.0,
+        )
+        first = list(crawler.due_fetches())[0]
+        clock.advance(SECONDS_PER_DAY)
+        second = list(crawler.due_fetches())[0]
+        assert first.kind == "html"
+        assert second.content != first.content
+
+
+class TestSyntheticWorkload:
+    def params(self, **overrides):
+        defaults = dict(card_a=1000, card_c=500, c_min=2, c_max=4, s=10,
+                        seed=3)
+        defaults.update(overrides)
+        return WorkloadParams(**defaults)
+
+    def test_complex_event_count_and_sizes(self):
+        workload = SyntheticWorkload(self.params())
+        events = workload.complex_events()
+        assert len(events) == 500
+        assert all(2 <= len(atomic) <= 4 for _, atomic in events)
+        assert all(atomic == sorted(atomic) for _, atomic in events)
+
+    def test_complex_events_cached(self):
+        workload = SyntheticWorkload(self.params())
+        assert workload.complex_events() is workload.complex_events()
+
+    def test_document_sets_shape(self):
+        workload = SyntheticWorkload(self.params(s=15))
+        sets = workload.document_event_sets(20)
+        assert len(sets) == 20
+        assert all(len(s) == 15 for s in sets)
+        assert all(s == sorted(s) for s in sets)
+
+    def test_draw_order_independence(self):
+        early_docs = SyntheticWorkload(self.params())
+        docs_first = early_docs.document_event_sets(5)
+        early_docs.complex_events()
+
+        events_first = SyntheticWorkload(self.params())
+        events_first.complex_events()
+        docs_second = events_first.document_event_sets(5)
+        assert docs_first == docs_second
+
+    def test_estimated_vs_observed_k(self):
+        workload = SyntheticWorkload(self.params(card_a=200, card_c=2000))
+        estimate = workload.params.estimated_k
+        observed = workload.observed_k()
+        assert abs(observed - estimate) / estimate < 0.2
+
+    def test_build_matcher(self):
+        from repro.core import AESMatcher
+
+        workload = SyntheticWorkload(self.params(card_c=50))
+        matcher = workload.build(AESMatcher)
+        assert len(matcher) == 50
+
+    def test_zipf_skew_concentrates_mass(self):
+        uniform = SyntheticWorkload(self.params())
+        skewed = SyntheticWorkload(self.params(zipf_exponent=1.2))
+        popular_hits = lambda wl: sum(
+            1
+            for _, atomic in wl.complex_events()
+            if any(code < 10 for code in atomic)
+        )
+        assert popular_hits(skewed) > popular_hits(uniform) * 2
+
+    def test_biased_sets_raise_hit_rate(self):
+        from repro.core import AESMatcher
+
+        workload = SyntheticWorkload(
+            self.params(card_a=10_000, card_c=200, s=12)
+        )
+        matcher = workload.build(AESMatcher)
+        uniform = workload.document_event_sets(200)
+        biased = biased_document_sets(workload, 200, hit_fraction=0.5)
+        uniform_hits = sum(1 for s in uniform if matcher.match(s))
+        biased_hits = sum(1 for s in biased if matcher.match(s))
+        assert biased_hits > uniform_hits + 20

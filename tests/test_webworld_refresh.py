@@ -1,0 +1,155 @@
+import math
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY
+from repro.webworld import ChangeRateEstimator, RefreshPlanner
+from repro.webworld.refresh import (
+    MAX_RATE_PER_DAY,
+    MIN_RATE_PER_DAY,
+    PageHistory,
+)
+
+
+class TestPageHistory:
+    def test_first_fetch_establishes_baseline(self):
+        history = PageHistory()
+        history.record_fetch(at=0.0, changed=True)
+        assert history.fetches == 0  # intervals need two fetches
+        assert history.mean_interval is None
+
+    def test_intervals_accumulate(self):
+        history = PageHistory()
+        history.record_fetch(0.0, changed=False)
+        history.record_fetch(100.0, changed=True)
+        history.record_fetch(300.0, changed=False)
+        assert history.fetches == 2
+        assert history.changes == 1
+        assert history.mean_interval == 150.0
+
+
+class TestChangeRateEstimator:
+    def test_default_until_evidence(self):
+        estimator = ChangeRateEstimator(default_rate_per_day=2.0)
+        assert estimator.rate_per_day("http://x/") == 2.0
+        estimator.record_fetch("http://x/", 0.0, changed=False)
+        estimator.record_fetch("http://x/", 100.0, changed=False)
+        # one interval only: still the default (needs >= 2)
+        assert estimator.rate_per_day("http://x/") == 2.0
+
+    def test_frequent_changes_give_high_rate(self):
+        estimator = ChangeRateEstimator()
+        for i in range(20):
+            # changed on every daily fetch
+            estimator.record_fetch(
+                "http://hot/", i * SECONDS_PER_DAY, changed=(i > 0)
+            )
+        hot = estimator.rate_per_day("http://hot/")
+        assert hot > 2.0
+
+    def test_rare_changes_give_low_rate(self):
+        estimator = ChangeRateEstimator()
+        for i in range(20):
+            estimator.record_fetch(
+                "http://cold/", i * SECONDS_PER_DAY, changed=(i == 10)
+            )
+        cold = estimator.rate_per_day("http://cold/")
+        assert cold < 0.2
+
+    def test_ordering_of_estimates(self):
+        estimator = ChangeRateEstimator()
+        for i in range(15):
+            estimator.record_fetch("http://a/", i * SECONDS_PER_DAY, i % 2 == 1)
+            estimator.record_fetch("http://b/", i * SECONDS_PER_DAY, i % 5 == 1)
+        assert estimator.rate_per_day("http://a/") > estimator.rate_per_day(
+            "http://b/"
+        )
+
+    def test_rates_clamped(self):
+        estimator = ChangeRateEstimator()
+        for i in range(50):
+            estimator.record_fetch("http://always/", i * 60.0, changed=i > 0)
+            estimator.record_fetch(
+                "http://never/", i * SECONDS_PER_DAY, changed=False
+            )
+        assert estimator.rate_per_day("http://always/") <= MAX_RATE_PER_DAY
+        assert estimator.rate_per_day("http://never/") >= MIN_RATE_PER_DAY
+
+
+class TestRefreshPlanner:
+    def make_planner(self, budget=100.0):
+        return RefreshPlanner(
+            ChangeRateEstimator(), daily_budget=budget
+        )
+
+    def test_budget_respected(self):
+        planner = self.make_planner(budget=50.0)
+        for i in range(10):
+            planner.add_page(f"http://p{i}/")
+        assert planner.planned_fetches_per_day() == pytest.approx(
+            50.0, rel=0.05
+        )
+
+    def test_importance_shortens_interval(self):
+        planner = self.make_planner()
+        planner.add_page("http://vip/", importance=10.0)
+        planner.add_page("http://normal/", importance=1.0)
+        intervals = planner.plan_intervals()
+        assert intervals["http://vip/"] < intervals["http://normal/"]
+
+    def test_change_rate_shortens_interval(self):
+        estimator = ChangeRateEstimator()
+        for i in range(15):
+            estimator.record_fetch("http://hot/", i * SECONDS_PER_DAY, i > 0)
+            estimator.record_fetch(
+                "http://cold/", i * SECONDS_PER_DAY, i == 5
+            )
+        planner = RefreshPlanner(estimator, daily_budget=10.0)
+        planner.add_page("http://hot/")
+        planner.add_page("http://cold/")
+        intervals = planner.plan_intervals()
+        assert intervals["http://hot/"] < intervals["http://cold/"]
+
+    def test_hint_caps_interval(self):
+        planner = self.make_planner(budget=2.0)
+        for i in range(10):
+            planner.add_page(f"http://p{i}/")
+        planner.apply_refresh_hints({"http://p0/": SECONDS_PER_DAY})
+        intervals = planner.plan_intervals()
+        assert intervals["http://p0/"] <= SECONDS_PER_DAY
+        # The others absorbed the committed budget.
+        assert intervals["http://p1/"] > SECONDS_PER_DAY
+
+    def test_min_interval_floor(self):
+        planner = RefreshPlanner(
+            ChangeRateEstimator(), daily_budget=1e9, min_interval=3600.0
+        )
+        planner.add_page("http://x/")
+        assert planner.plan_intervals()["http://x/"] == 3600.0
+
+    def test_empty_planner(self):
+        assert self.make_planner().plan_intervals() == {}
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RefreshPlanner(ChangeRateEstimator(), daily_budget=0)
+
+    def test_remove_page(self):
+        planner = self.make_planner()
+        planner.add_page("http://x/")
+        planner.remove_page("http://x/")
+        assert len(planner) == 0
+
+
+class TestCrawlerIntegration:
+    def test_apply_plan_updates_crawler(self):
+        from repro.clock import SimulatedClock
+        from repro.webworld import SimulatedCrawler, SiteGenerator
+
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        crawler.add_xml_page(
+            "http://a/x.xml", SiteGenerator(seed=1).catalog(3)
+        )
+        crawler.apply_plan({"http://a/x.xml": 1234.0})
+        assert crawler.page("http://a/x.xml").refresh_interval == 1234.0

@@ -1,0 +1,65 @@
+from repro.xmlstore import DTDRegistry
+
+
+class TestRegistration:
+    def test_register_returns_stable_id(self):
+        registry = DTDRegistry()
+        first = registry.register("http://d/catalog.dtd")
+        again = registry.register("http://d/catalog.dtd")
+        assert first == again
+
+    def test_ids_start_at_one_and_increase(self):
+        registry = DTDRegistry()
+        assert registry.register("http://d/a.dtd") == 1
+        assert registry.register("http://d/b.dtd") == 2
+
+    def test_lookup_both_directions(self):
+        registry = DTDRegistry()
+        dtd_id = registry.register("http://d/a.dtd")
+        assert registry.id_for("http://d/a.dtd") == dtd_id
+        assert registry.url_for(dtd_id) == "http://d/a.dtd"
+
+    def test_unknown_lookups_return_none(self):
+        registry = DTDRegistry()
+        assert registry.id_for("http://nowhere/") is None
+        assert registry.url_for(99) is None
+
+    def test_len_and_contains(self):
+        registry = DTDRegistry()
+        registry.register("http://d/a.dtd")
+        assert len(registry) == 1
+        assert "http://d/a.dtd" in registry
+
+
+class TestDomains:
+    def test_domain_assignment(self):
+        registry = DTDRegistry()
+        registry.register("http://d/bio.dtd", domain="biology")
+        assert registry.domain_for("http://d/bio.dtd") == "biology"
+
+    def test_registration_without_domain_keeps_existing(self):
+        registry = DTDRegistry()
+        registry.register("http://d/bio.dtd", domain="biology")
+        registry.register("http://d/bio.dtd")
+        assert registry.domain_for("http://d/bio.dtd") == "biology"
+
+    def test_domain_can_be_reassigned(self):
+        registry = DTDRegistry()
+        registry.register("http://d/x.dtd", domain="a")
+        registry.register("http://d/x.dtd", domain="b")
+        assert registry.domain_for("http://d/x.dtd") == "b"
+
+    def test_dtds_in_domain(self):
+        registry = DTDRegistry()
+        registry.register("http://d/a.dtd", domain="culture")
+        registry.register("http://d/b.dtd", domain="culture")
+        registry.register("http://d/c.dtd", domain="commerce")
+        assert sorted(registry.dtds_in_domain("culture")) == [
+            "http://d/a.dtd",
+            "http://d/b.dtd",
+        ]
+
+    def test_unassigned_domain_is_none(self):
+        registry = DTDRegistry()
+        registry.register("http://d/a.dtd")
+        assert registry.domain_for("http://d/a.dtd") is None

@@ -1,0 +1,110 @@
+from repro.xmlstore import parse
+from repro.xmlstore.nodes import Document, ElementNode, TextNode
+
+
+def build_sample():
+    # <r><a>one</a><b><c>two</c></b></r>
+    root = ElementNode("r")
+    a = root.make_child("a", text="one")
+    b = root.make_child("b")
+    c = b.make_child("c", text="two")
+    return root, a, b, c
+
+
+class TestStructure:
+    def test_levels(self):
+        root, a, b, c = build_sample()
+        assert root.level == 0
+        assert a.level == 1
+        assert c.level == 2
+
+    def test_root_and_ancestors(self):
+        root, _, b, c = build_sample()
+        assert c.root() is root
+        assert list(c.ancestors()) == [b, root]
+
+    def test_sibling_index(self):
+        root, a, b, _ = build_sample()
+        assert a.sibling_index() == 0
+        assert b.sibling_index() == 1
+        assert root.sibling_index() == 0
+
+    def test_detach(self):
+        root, a, _, _ = build_sample()
+        a.detach()
+        assert a.parent is None
+        assert all(child is not a for child in root.children)
+
+    def test_insert_at_position(self):
+        root, _, _, _ = build_sample()
+        new = ElementNode("x")
+        root.insert(1, new)
+        assert root.children[1] is new
+        assert new.parent is root
+
+    def test_append_reparents(self):
+        root, a, b, _ = build_sample()
+        b.append(a)
+        assert a.parent is b
+        assert a not in root.children
+
+
+class TestTraversals:
+    def test_preorder_is_document_order(self):
+        root, a, b, c = build_sample()
+        elements = [n for n in root.preorder() if isinstance(n, ElementNode)]
+        assert elements == [root, a, b, c]
+
+    def test_postorder_children_before_parent(self):
+        root, a, b, c = build_sample()
+        order = [n for n in root.postorder() if isinstance(n, ElementNode)]
+        assert order.index(c) < order.index(b)
+        assert order.index(a) < order.index(root)
+        assert order[-1] is root
+
+    def test_postorder_includes_text_nodes(self):
+        root, *_ = build_sample()
+        texts = [n for n in root.postorder() if isinstance(n, TextNode)]
+        assert [t.data for t in texts] == ["one", "two"]
+
+    def test_traversal_counts_agree(self):
+        root, *_ = build_sample()
+        assert len(list(root.preorder())) == len(list(root.postorder()))
+
+
+class TestContent:
+    def test_text_content_concatenates_in_order(self):
+        root, *_ = build_sample()
+        assert root.text_content() == "onetwo"
+
+    def test_find_all(self):
+        doc = parse("<r><p/><q><p/></q></r>")
+        assert len(list(doc.root.find_all("p"))) == 2
+
+    def test_first_returns_document_order_match(self):
+        doc = parse("<r><q><p n='deep'/></q><p n='late'/></r>")
+        assert doc.root.first("p").attributes["n"] == "deep"
+
+    def test_first_missing_returns_none(self):
+        doc = parse("<r/>")
+        assert doc.root.first("zzz") is None
+
+    def test_get_attribute_with_default(self):
+        doc = parse('<r a="1"/>')
+        assert doc.root.get("a") == "1"
+        assert doc.root.get("b", "fallback") == "fallback"
+
+
+class TestMetrics:
+    def test_subtree_size(self):
+        root, *_ = build_sample()
+        assert root.subtree_size() == 6  # r a text b c text
+
+    def test_max_depth(self):
+        root, *_ = build_sample()
+        assert root.max_depth() == 3  # text under c
+
+    def test_document_size_and_depth(self):
+        doc = Document(build_sample()[0])
+        assert doc.size() == 6
+        assert doc.depth() == 3

@@ -1,0 +1,97 @@
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlstore import parse
+from repro.xmlstore.nodes import ElementNode, TextNode
+
+
+class TestBasicParsing:
+    def test_root_tag(self):
+        assert parse("<catalog/>").root.tag == "catalog"
+
+    def test_nested_children(self):
+        doc = parse("<a><b><c/></b></a>")
+        assert doc.root.children[0].tag == "b"
+        assert doc.root.children[0].children[0].tag == "c"
+
+    def test_text_content(self):
+        doc = parse("<a>hello</a>")
+        assert doc.root.text_content() == "hello"
+
+    def test_attributes(self):
+        doc = parse('<a href="http://x/">link</a>')
+        assert doc.root.attributes["href"] == "http://x/"
+
+    def test_mixed_content_order(self):
+        doc = parse("<a>one<b/>two</a>")
+        children = doc.root.children
+        assert isinstance(children[0], TextNode)
+        assert isinstance(children[1], ElementNode)
+        assert isinstance(children[2], TextNode)
+
+    def test_adjacent_text_tokens_folded(self):
+        doc = parse("<a>x&amp;y</a>")
+        assert len(doc.root.children) == 1
+        assert doc.root.text_content() == "x&y"
+
+    def test_doctype_captured(self):
+        doc = parse('<!DOCTYPE m SYSTEM "http://d/m.dtd"><m/>')
+        assert doc.dtd_url == "http://d/m.dtd"
+        assert doc.doctype_name == "m"
+
+
+class TestWhitespace:
+    def test_interelement_whitespace_dropped_by_default(self):
+        doc = parse("<a>\n  <b/>\n</a>")
+        assert len(doc.root.children) == 1
+
+    def test_keep_whitespace_option(self):
+        doc = parse("<a>\n  <b/>\n</a>", keep_whitespace=True)
+        assert len(doc.root.children) == 3
+
+    def test_significant_whitespace_in_text_kept(self):
+        doc = parse("<a>  padded  </a>")
+        assert doc.root.text_content() == "  padded  "
+
+
+class TestWellFormedness:
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a><b></a></b>")
+
+    def test_unclosed_element_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a><b>")
+
+    def test_stray_end_tag_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a/></b>")
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a/><b/>")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("   ")
+
+    def test_text_outside_root_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a/>stray")
+
+    def test_doctype_after_root_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a/><!DOCTYPE a>")
+
+
+class TestPaperExamples:
+    def test_member_list(self):
+        doc = parse(
+            "<Report>"
+            '<UpdatedPage url="http://inria.fr/Xy/index.html"/>'
+            "<Member><name>nguyen</name><fn>benjamin</fn></Member>"
+            "</Report>"
+        )
+        member = doc.root.first("Member")
+        assert member is not None
+        assert member.first("name").text_content() == "nguyen"

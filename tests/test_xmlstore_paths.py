@@ -1,0 +1,80 @@
+import pytest
+
+from repro.errors import PathSyntaxError
+from repro.xmlstore import parse, parse_path
+
+
+@pytest.fixture
+def doc():
+    return parse(
+        "<museum>"
+        "  <name>Rijks</name>"
+        '  <painting year="1642"><title>Night Watch</title></painting>'
+        '  <wing><painting year="1658"><title>Milkmaid</title></painting></wing>'
+        "</museum>"
+    )
+
+
+class TestChildAxis:
+    def test_single_step(self, doc):
+        matches = list(parse_path("painting").select(doc.root))
+        assert len(matches) == 1
+        assert matches[0].attributes["year"] == "1642"
+
+    def test_two_steps(self, doc):
+        matches = list(parse_path("wing/painting").select(doc.root))
+        assert len(matches) == 1
+        assert matches[0].attributes["year"] == "1658"
+
+    def test_no_match(self, doc):
+        assert list(parse_path("sculpture").select(doc.root)) == []
+
+
+class TestDescendantAxis:
+    def test_leading_double_slash(self, doc):
+        matches = list(parse_path("//painting").select(doc.root))
+        assert len(matches) == 2
+
+    def test_self_descendant(self, doc):
+        matches = list(parse_path("self//title").select(doc.root))
+        assert len(matches) == 2
+
+    def test_mid_path_descendant(self, doc):
+        matches = list(parse_path("wing//title").select(doc.root))
+        assert [m.text_content() for m in matches] == ["Milkmaid"]
+
+    def test_no_duplicates_from_overlapping_axes(self, doc):
+        matches = list(parse_path("//painting//title").select(doc.root))
+        assert len(matches) == 2
+
+
+class TestWildcardsAndAttributes:
+    def test_wildcard_step(self, doc):
+        matches = list(parse_path("*/title").select(doc.root))
+        assert len(matches) == 1  # only painting (child) has title child
+
+    def test_attribute_selection(self, doc):
+        years = list(parse_path("//painting@year").select(doc.root))
+        assert sorted(years) == ["1642", "1658"]
+
+    def test_attribute_absent_skipped(self, doc):
+        assert list(parse_path("name@year").select(doc.root)) == []
+
+    def test_first_helper(self, doc):
+        assert parse_path("//title").first(doc.root).text_content() == (
+            "Night Watch"
+        )
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad", ["", "  ", "a///b", "a/@", "@attr", "a b", "self"]
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(PathSyntaxError):
+            parse_path(bad)
+
+    def test_self_with_attribute_allowed(self):
+        path = parse_path("self@id")
+        assert path.attribute == "id"
+        assert path.steps == ()

@@ -1,0 +1,55 @@
+from repro.xmlstore import parse, serialize
+from repro.xmlstore.serializer import escape_attribute, escape_text
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes_quotes_too(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        source = '<a x="1"><b>text</b><c/></a>'
+        assert serialize(parse(source)) == source
+
+    def test_special_characters_roundtrip(self):
+        doc = parse("<a>&lt;tag&gt; &amp; friends</a>")
+        again = parse(serialize(doc))
+        assert again.root.text_content() == "<tag> & friends"
+
+    def test_doctype_preserved(self):
+        source = '<!DOCTYPE m SYSTEM "http://d/m.dtd"><m/>'
+        doc = parse(source)
+        assert 'SYSTEM "http://d/m.dtd"' in serialize(doc)
+
+    def test_mixed_content_roundtrip(self):
+        source = "<a>one<b>two</b>three</a>"
+        assert serialize(parse(source)) == source
+
+    def test_roundtrip_is_stable(self):
+        source = '<r><p k="v">x</p><q/></r>'
+        once = serialize(parse(source))
+        twice = serialize(parse(once))
+        assert once == twice
+
+
+class TestFormatting:
+    def test_empty_element_self_closes(self):
+        assert serialize(parse("<a></a>")) == "<a/>"
+
+    def test_xml_declaration_option(self):
+        out = serialize(parse("<a/>"), xml_declaration=True)
+        assert out.startswith("<?xml")
+
+    def test_indented_output_reparses_equal(self):
+        source = '<a><b x="1">text</b><c><d/></c></a>'
+        pretty = serialize(parse(source), indent=2)
+        assert "\n" in pretty
+        assert serialize(parse(pretty)) == source
+
+    def test_serialize_subtree(self):
+        doc = parse("<a><b>inner</b></a>")
+        assert serialize(doc.root.children[0]) == "<b>inner</b>"

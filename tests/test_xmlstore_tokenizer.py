@@ -1,0 +1,120 @@
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlstore import tokenizer
+from repro.xmlstore.tokenizer import Token, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+class TestStartEndTags:
+    def test_simple_element(self):
+        tokens = list(tokenize("<a></a>"))
+        assert tokens[0].kind == tokenizer.START_TAG
+        assert tokens[0].value == ("a", {}, False)
+        assert tokens[1].kind == tokenizer.END_TAG
+        assert tokens[1].value == "a"
+
+    def test_self_closing(self):
+        (token,) = tokenize("<a/>")
+        assert token.value == ("a", {}, True)
+
+    def test_attributes_double_and_single_quotes(self):
+        (token,) = tokenize("<a x=\"1\" y='two'/>")
+        assert token.value[1] == {"x": "1", "y": "two"}
+
+    def test_attribute_entities_decoded(self):
+        (token,) = tokenize('<a x="a&amp;b"/>')
+        assert token.value[1]["x"] == "a&b"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize('<a x="1" x="2"/>'))
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize('<a x "1"/>'))
+
+    def test_namespace_colon_in_tag(self):
+        (token,) = tokenize("<ns:item/>")
+        assert token.value[0] == "ns:item"
+
+    def test_whitespace_inside_end_tag(self):
+        tokens = list(tokenize("<a></a >"))
+        assert tokens[1].value == "a"
+
+
+class TestText:
+    def test_text_between_tags(self):
+        tokens = list(tokenize("<a>hello</a>"))
+        assert tokens[1].kind == tokenizer.TEXT
+        assert tokens[1].value == "hello"
+
+    def test_predefined_entities(self):
+        tokens = list(tokenize("<a>&lt;&gt;&amp;&apos;&quot;</a>"))
+        assert tokens[1].value == "<>&'\""
+
+    def test_numeric_entities(self):
+        tokens = list(tokenize("<a>&#65;&#x42;</a>"))
+        assert tokens[1].value == "AB"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a>&nope;</a>"))
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a>&amp</a>"))
+
+
+class TestMarkupSkipping:
+    def test_comments_skipped(self):
+        assert kinds("<a><!-- note --></a>") == ["start", "end"]
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a><!-- oops"))
+
+    def test_processing_instruction_skipped(self):
+        assert kinds('<?xml version="1.0"?><a/>') == ["start"]
+
+    def test_cdata_becomes_text(self):
+        tokens = list(tokenize("<a><![CDATA[<raw>&]]></a>"))
+        assert tokens[1].kind == tokenizer.TEXT
+        assert tokens[1].value == "<raw>&"
+
+
+class TestDoctype:
+    def test_doctype_with_system_url(self):
+        tokens = list(tokenize('<!DOCTYPE cat SYSTEM "http://d/x.dtd"><cat/>'))
+        assert tokens[0].kind == tokenizer.DOCTYPE
+        assert tokens[0].value == ("cat", "http://d/x.dtd")
+
+    def test_doctype_without_system(self):
+        tokens = list(tokenize("<!DOCTYPE cat><cat/>"))
+        assert tokens[0].value == ("cat", None)
+
+    def test_doctype_public(self):
+        tokens = list(
+            tokenize('<!DOCTYPE c PUBLIC "pub-id" "http://d/c.dtd"><c/>')
+        )
+        assert tokens[0].value == ("c", "http://d/c.dtd")
+
+    def test_doctype_internal_subset_skipped(self):
+        tokens = list(tokenize("<!DOCTYPE c [ <!ELEMENT c EMPTY> ]><c/>"))
+        assert tokens[0].value == ("c", None)
+
+
+class TestErrorPositions:
+    def test_error_carries_line_and_column(self):
+        source = "<a>\n  <b x=></b></a>"
+        with pytest.raises(XMLSyntaxError) as exc_info:
+            list(tokenize(source))
+        assert exc_info.value.line == 2
+
+    def test_token_positions_tracked(self):
+        tokens = list(tokenize("<a>\n<b/></a>"))
+        b_token = tokens[1] if tokens[1].kind == "start" else tokens[2]
+        assert isinstance(b_token, Token)

@@ -1,0 +1,59 @@
+from repro.xmlstore.words import (
+    DEFAULT_STOP_WORDS,
+    extract_words,
+    normalize_word,
+    unique_words,
+)
+
+
+class TestNormalization:
+    def test_casefolded(self):
+        assert normalize_word("Camera") == "camera"
+
+    def test_already_lower_unchanged(self):
+        assert normalize_word("xml") == "xml"
+
+
+class TestExtraction:
+    def test_simple_split(self):
+        assert extract_words("new camera shipped") == [
+            "new", "camera", "shipped",
+        ]
+
+    def test_punctuation_separates(self):
+        assert extract_words("one,two;three.") == ["one", "two", "three"]
+
+    def test_hyphenated_word_stays_whole(self):
+        # The paper's example condition: category = "hi-fi".
+        assert extract_words("great hi-fi sound") == ["great", "hi-fi", "sound"]
+
+    def test_leading_trailing_hyphens_stripped(self):
+        assert extract_words("-dash- 'quote'") == ["dash", "quote"]
+
+    def test_numbers_are_words(self):
+        assert extract_words("price 1642 euros") == ["price", "1642", "euros"]
+
+    def test_case_folding_applied(self):
+        assert extract_words("XML Warehouse") == ["xml", "warehouse"]
+
+    def test_empty_text(self):
+        assert extract_words("") == []
+        assert extract_words("   ...   ") == []
+
+    def test_duplicates_preserved_in_extract(self):
+        assert extract_words("a b a") == ["a", "b", "a"]
+
+    def test_unique_words_dedupes(self):
+        assert unique_words("a b a") == {"a", "b"}
+
+    def test_apostrophe_inside_word(self):
+        assert extract_words("l'art d'amazon") == ["l'art", "d'amazon"]
+
+
+class TestStopWords:
+    def test_the_is_a_stop_word(self):
+        # Section 5.4 names "the" explicitly.
+        assert "the" in DEFAULT_STOP_WORDS
+
+    def test_content_words_are_not(self):
+        assert "camera" not in DEFAULT_STOP_WORDS
