@@ -5,13 +5,20 @@ cached for the whole benchmark session.
 
 Scale control: set ``REPRO_BENCH_SCALE=quick`` to cap Card(C) at 10^5
 (useful while iterating); the default is the paper's full scale (10^6).
+
+Observability: benchmarks that assemble a full :class:`SubscriptionSystem`
+can dump its ``metrics_snapshot()`` next to the bench output with
+:func:`dump_metrics_snapshot`, so BENCH_*.json trajectories gain per-stage
+breakdowns.  ``REPRO_BENCH_METRICS_DIR`` overrides the output directory
+(default: the current working directory).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import AESMatcher
 from repro.webworld import SyntheticWorkload, WorkloadParams
@@ -66,6 +73,29 @@ def time_per_document_us(
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
     return best / len(document_sets) * 1e6
+
+
+def metrics_output_path(name: str, directory: Optional[str] = None) -> str:
+    """Where :func:`dump_metrics_snapshot` writes ``METRICS_<name>.json``."""
+    if directory is None:
+        directory = os.environ.get("REPRO_BENCH_METRICS_DIR", ".")
+    return os.path.join(directory, f"METRICS_{name}.json")
+
+
+def dump_metrics_snapshot(
+    snapshot: Dict, name: str, directory: Optional[str] = None
+) -> str:
+    """Write one pipeline metrics snapshot next to the bench output.
+
+    ``snapshot`` is ``system.metrics_snapshot()``; the file lands at
+    :func:`metrics_output_path` so BENCH_*.json series gain a per-stage
+    breakdown with the same naming convention.  Returns the path written.
+    """
+    path = metrics_output_path(name, directory)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def print_series(title: str, header: str, rows: List[str]) -> None:

@@ -22,6 +22,7 @@ import time
 import pytest
 
 from _bench_utils import (
+    dump_metrics_snapshot,
     get_matcher,
     get_workload,
     print_series,
@@ -112,3 +113,125 @@ def test_throughput_report_and_claims(benchmark):
     assert crawlers_supported > 10
     # Paper: > 2.4 million notifications per day end-to-end.
     assert notif_per_day > 2_400_000
+
+
+def test_metrics_snapshot_produced(benchmark, tmp_path):
+    """Smoke: a full-system run yields a per-stage metrics snapshot.
+
+    Feeds a 100-document webworld stream through an assembled
+    :class:`SubscriptionSystem` and dumps ``metrics_snapshot()`` next to
+    the bench output (``METRICS_throughput.json``), so throughput
+    trajectories gain per-stage breakdowns.  CI runs exactly this test as
+    its bench smoke.
+    """
+    from repro.clock import SimulatedClock
+    from repro.pipeline import SubscriptionSystem
+    from repro.webworld import SiteGenerator
+
+    clock = SimulatedClock(990_000_000.0)
+    system = SubscriptionSystem(clock=clock, shards=2, shard_mode="flow")
+    system.subscribe(
+        """
+        subscription Thr
+        monitoring M
+        select <Hit url=URL/>
+        where URL extends "http://www.shop"
+          and modified self
+        report when count >= 50
+        """,
+        owner_email="bench@example.org",
+    )
+    generator = SiteGenerator(seed=5)
+    urls = [
+        f"http://www.shop{i}.example/catalog/products.xml" for i in range(50)
+    ]
+    pages = {url: generator.catalog(products=4) for url in urls}
+    updates = {url: generator.catalog(products=5) for url in urls}
+
+    def run():
+        for url in urls:  # first sight: new documents
+            system.feed_xml(url, pages[url])
+            clock.advance(1.0)
+        for url in urls:  # second sight: updated content
+            system.feed_xml(url, updates[url])
+            clock.advance(1.0)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    system.advance_days(1)
+
+    snapshot = system.metrics_snapshot()
+    assert snapshot["documents_fed"] == 100
+    stages = snapshot["stages"]
+    xml = stages["repository.store_xml"]
+    html = stages.get("repository.store_html", 0)
+    assert xml + html == snapshot["documents_fed"]
+    assert stages["alerters.build_alert"] == snapshot["documents_fed"]
+    assert stages["mqp.process_alert"] > 0
+    assert stages["triggers.tick"] > 0 and stages["reporter.tick"] > 0
+    assert sum(snapshot["shard_load"].values()) == stages["mqp.process_alert"]
+    path = dump_metrics_snapshot(
+        snapshot, "throughput", directory=str(tmp_path)
+    )
+    import json
+    import os
+
+    assert os.path.exists(path)
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["documents_fed"] == 100
+
+
+def test_instrumentation_overhead(benchmark, bench_doc_count):
+    """The metrics layer must not tax the hot path.
+
+    Compares ``process_alert`` throughput with the no-op registry versus a
+    live wall-clock registry over the same matcher and documents.  The
+    acceptance target is <= 5% mean overhead; the assertion uses a wide
+    margin (50%) to stay robust against scheduler noise on shared CI boxes
+    while still catching pathological regressions, and the measured ratio
+    is printed for the trajectory.
+    """
+    from repro.core.processor import Alert, MonitoringQueryProcessor
+    from repro.observability import NULL_REGISTRY, MetricsRegistry
+
+    matcher = get_matcher(**_params())
+    workload = get_workload(**_params())
+    documents = workload.document_event_sets(bench_doc_count)
+    alerts = [
+        Alert(f"http://doc{i}/", event_set)
+        for i, event_set in enumerate(documents)
+    ]
+
+    def build(metrics):
+        processor = MonitoringQueryProcessor(metrics=metrics)
+        processor.matcher = matcher  # reuse the big prebuilt structure
+        return processor
+
+    def feed(processor):
+        for alert in alerts:
+            processor.process_alert(alert)
+
+    null_processor = build(NULL_REGISTRY)
+    live_processor = build(MetricsRegistry())
+    # Warm both paths, then take best-of-5 each to filter scheduling noise.
+    feed(null_processor)
+    feed(live_processor)
+    best_null = best_live = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        feed(null_processor)
+        best_null = min(best_null, time.perf_counter() - start)
+        start = time.perf_counter()
+        feed(live_processor)
+        best_live = min(best_live, time.perf_counter() - start)
+    benchmark(lambda: None)
+    overhead = best_live / best_null - 1.0
+    print_series(
+        "T-obs: instrumentation overhead on process_alert",
+        f"docs={len(alerts)}, Card(C)={scaled_card_c(CARD_C):,}",
+        [
+            f"no-op registry : {best_null * 1e6 / len(alerts):8.1f} us/doc",
+            f"live registry  : {best_live * 1e6 / len(alerts):8.1f} us/doc",
+            f"overhead       : {overhead * 100:8.2f} %",
+        ],
+    )
+    assert overhead < 0.5

@@ -18,7 +18,9 @@ depends on, in pure Python:
   storage substrates;
 * ``repro.webworld`` — the synthetic web and the paper's controlled
   experiment workloads;
-* ``repro.pipeline`` — :class:`SubscriptionSystem`, the assembled system.
+* ``repro.pipeline`` — :class:`SubscriptionSystem`, the assembled system;
+* ``repro.observability`` — metrics registry + stage tracing threaded
+  through every stage above (``system.metrics_snapshot()``).
 
 Quickstart::
 
@@ -53,6 +55,12 @@ from .core import (
 )
 from .errors import ReproError
 from .language import parse_subscription, validate_subscription
+from .observability import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    StageTracer,
+)
 from .pipeline import Fetch, FeedResult, SubscriptionSystem
 from .query import QueryEngine, parse_query
 from .repository import Repository, SemanticClassifier
@@ -82,6 +90,10 @@ __all__ = [
     "ReproError",
     "parse_subscription",
     "validate_subscription",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "StageTracer",
     "Fetch",
     "FeedResult",
     "SubscriptionSystem",

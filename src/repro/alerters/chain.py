@@ -20,6 +20,13 @@ from typing import Any, Dict, List, Optional, Set
 from ..core.events import AtomicEventKey, WEAK_KINDS
 from ..core.processor import Alert
 from ..errors import MonitoringError
+from ..observability.metrics import MetricsRegistry, NULL_REGISTRY
+from ..observability.names import (
+    COUNTER_ALERTS_BUILT,
+    COUNTER_ALERTS_SUPPRESSED,
+    STAGE_ALERTERS_BUILD_ALERT,
+)
+from ..observability.tracing import StageTracer
 from .base import Alerter
 from .context import FetchedDocument
 from .html_alerter import HTMLAlerter
@@ -30,10 +37,20 @@ from .xml_alerter import XMLAlerter
 class AlerterChain:
     """Dispatches registrations by event kind and merges detections."""
 
-    def __init__(self, alerters: Optional[List[Alerter]] = None):
+    def __init__(
+        self,
+        alerters: Optional[List[Alerter]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if alerters is None:
             alerters = [URLAlerter(), XMLAlerter(), HTMLAlerter()]
         self.alerters = alerters
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._latency = StageTracer(self.metrics).stage_histogram(
+            STAGE_ALERTERS_BUILD_ALERT
+        )
+        self._built = self.metrics.counter(COUNTER_ALERTS_BUILT)
+        self._suppressed = self.metrics.counter(COUNTER_ALERTS_SUPPRESSED)
         #: Codes of weak events currently registered (for gating).
         self._weak_codes: Set[int] = set()
         self._registered: Dict[int, List[Alerter]] = {}
@@ -65,6 +82,16 @@ class AlerterChain:
     def build_alert(self, fetched: FetchedDocument) -> Optional[Alert]:
         """Run all alerters; return the alert, or None if only weak events
         (or nothing) fired."""
+        start = self.metrics.now()
+        alert = self._build_alert(fetched)
+        self._latency.observe(self.metrics.now() - start)
+        if alert is not None:
+            self._built.inc()
+        else:
+            self._suppressed.inc()
+        return alert
+
+    def _build_alert(self, fetched: FetchedDocument) -> Optional[Alert]:
         codes: Set[int] = set()
         data: Dict[int, Any] = {}
         for alerter in self.alerters:

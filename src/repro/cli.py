@@ -5,7 +5,11 @@ Subcommands::
     repro-monitor check FILE       parse + validate a subscription file
     repro-monitor fmt FILE         print the canonical form of a subscription
     repro-monitor demo             run a small end-to-end simulation
+    repro-monitor stats            run a simulation, emit the metrics snapshot
     repro-monitor match            micro-benchmark the matching engines
+
+``demo`` and ``stats`` accept ``--metrics-json PATH`` to dump the
+observability snapshot (``system.metrics_snapshot()``) as JSON.
 
 Also runnable as ``python -m repro ...``.
 """
@@ -13,6 +17,7 @@ Also runnable as ``python -m repro ...``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -61,7 +66,36 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--sites", type=int, default=10)
     demo.add_argument("--days", type=int, default=7)
     demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="also dump system.metrics_snapshot() as JSON to PATH",
+    )
     demo.set_defaults(handler=_cmd_demo)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run a simulation and emit the observability metrics snapshot",
+    )
+    stats.add_argument("--sites", type=int, default=10)
+    stats.add_argument("--days", type=int, default=7)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument(
+        "--shards", type=int, default=1, help="MQP shard count (>1 shards)"
+    )
+    stats.add_argument(
+        "--shard-mode",
+        choices=["flow", "subscriptions"],
+        default="flow",
+    )
+    stats.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write the snapshot to PATH instead of stdout",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     match = commands.add_parser(
         "match", help="micro-benchmark a matching engine"
@@ -113,18 +147,24 @@ def _cmd_fmt(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
+def _run_simulation(
+    sites: int, days: int, seed: int, shards: int = 1,
+    shard_mode: str = "flow",
+):
+    """The shared demo/stats scenario: crawl ``sites`` for ``days``."""
     from .pipeline import SubscriptionSystem
     from .webworld import ChangeModel, SimulatedCrawler, SiteGenerator
 
     clock = SimulatedClock(990_000_000.0)
-    system = SubscriptionSystem(clock=clock)
-    generator = SiteGenerator(seed=args.seed)
-    crawler = SimulatedCrawler(
-        clock=clock, change_model=ChangeModel(seed=args.seed + 1),
-        seed=args.seed + 2,
+    system = SubscriptionSystem(
+        clock=clock, shards=shards, shard_mode=shard_mode
     )
-    for i in range(args.sites):
+    generator = SiteGenerator(seed=seed)
+    crawler = SimulatedCrawler(
+        clock=clock, change_model=ChangeModel(seed=seed + 1),
+        seed=seed + 2,
+    )
+    for i in range(sites):
         crawler.add_xml_page(
             f"http://www.shop{i}.example/catalog/products.xml",
             generator.catalog(products=8),
@@ -142,10 +182,23 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         """,
         owner_email="demo@example.org",
     )
-    for _ in range(args.days):
+    for _ in range(days):
         for fetch in crawler.due_fetches():
             system.feed(fetch)
         system.advance_days(1)
+    return system
+
+
+def _write_metrics_json(system, path: Optional[str]) -> None:
+    if path is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(system.metrics_snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    system = _run_simulation(args.sites, args.days, args.seed)
     stats = system.processor.stats
     print(f"{args.sites} sites crawled over {args.days} simulated days")
     print(f"  documents fed  : {system.documents_fed}")
@@ -153,6 +206,25 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"  notifications  : {stats.notifications_sent}")
     print(f"  reports        : {system.reporter.stats.reports_generated}")
     print(f"  emails         : {system.email_sink.total_sent}")
+    _write_metrics_json(system, args.metrics_json)
+    if args.metrics_json:
+        print(f"  metrics        : {args.metrics_json}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    system = _run_simulation(
+        args.sites, args.days, args.seed,
+        shards=args.shards, shard_mode=args.shard_mode,
+    )
+    if args.metrics_json:
+        _write_metrics_json(system, args.metrics_json)
+        print(f"metrics snapshot written to {args.metrics_json}")
+    else:
+        json.dump(
+            system.metrics_snapshot(), sys.stdout, indent=2, sort_keys=True
+        )
+        sys.stdout.write("\n")
     return 0
 
 

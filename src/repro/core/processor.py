@@ -24,6 +24,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..clock import Clock, SimulatedClock
+from ..observability.metrics import MetricsRegistry, NULL_REGISTRY
+from ..observability.names import (
+    COUNTER_MQP_NOTIFICATIONS,
+    STAGE_MQP_PROCESS_ALERT,
+)
+from ..observability.tracing import StageTracer
 from .aes import AESMatcher, sort_event_set
 from .events import AtomicEventKey, ComplexEvent, EventRegistry
 from .stats import ProcessorStats
@@ -67,10 +73,23 @@ class MonitoringQueryProcessor:
         registry: Optional[EventRegistry] = None,
         matcher_factory: Callable[[], Any] = AESMatcher,
         clock: Optional[Clock] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        shard_label: Optional[str] = None,
     ):
+        """``metrics`` / ``shard_label`` instrument ``process_alert``: the
+        sharded processors give each worker its own ``shard=N`` label so the
+        snapshot shows the load distribution."""
         self.registry = registry if registry is not None else EventRegistry()
         self.matcher = matcher_factory()
         self.clock = clock if clock is not None else SimulatedClock()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        labels = {} if shard_label is None else {"shard": shard_label}
+        self._latency = StageTracer(self.metrics).stage_histogram(
+            STAGE_MQP_PROCESS_ALERT, **labels
+        )
+        self._notified = self.metrics.counter(
+            COUNTER_MQP_NOTIFICATIONS, **labels
+        )
         self.stats = ProcessorStats()
         self._sinks: List[NotificationSink] = []
 
@@ -96,6 +115,7 @@ class MonitoringQueryProcessor:
 
     def process_alert(self, alert: Alert) -> List[Notification]:
         """Match one alert; dispatch and return its notification batch."""
+        start = self.metrics.now()
         now = self.clock.now()
         matched = self.matcher.match(alert.event_codes)
         notifications = [
@@ -113,6 +133,9 @@ class MonitoringQueryProcessor:
         if notifications:
             for sink in self._sinks:
                 sink(notifications)
+        self._latency.observe(self.metrics.now() - start)
+        if notifications:
+            self._notified.inc(len(notifications))
         return notifications
 
     def match_codes(self, event_codes: Sequence[int]) -> List[int]:

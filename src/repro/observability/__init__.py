@@ -1,0 +1,53 @@
+"""Pipeline-wide observability: metrics registry + stage-span tracing.
+
+The paper argues for Xyleme with measured, per-stage behavior (documents/day
+through the crawler, alerts/second through the MQP, notifications/day out of
+the Reporter).  This package gives the reproduction the same visibility:
+
+* :class:`MetricsRegistry` — dependency-free counters, gauges and
+  fixed-bucket latency histograms, deterministic under
+  :class:`~repro.clock.SimulatedClock`;
+* :class:`NullRegistry` / :data:`NULL_REGISTRY` — the injectable no-op every
+  instrumented class defaults to, guaranteeing observability never perturbs
+  behavior;
+* :class:`StageTracer` — spans over named pipeline stages feeding
+  ``<stage>.latency_seconds`` histograms;
+* :mod:`repro.observability.names` — the canonical metric-name list that
+  ``docs/OBSERVABILITY.md`` is tested against.
+
+The assembled :class:`~repro.pipeline.SubscriptionSystem` owns one registry
+and exposes ``system.metrics_snapshot()``.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    render_key,
+    split_key,
+)
+from .names import ALL_METRIC_NAMES, COUNTER_NAMES, GAUGE_NAMES, STAGE_NAMES
+from .tracing import LATENCY_SUFFIX, Span, StageTracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "render_key",
+    "split_key",
+    "ALL_METRIC_NAMES",
+    "COUNTER_NAMES",
+    "GAUGE_NAMES",
+    "STAGE_NAMES",
+    "LATENCY_SUFFIX",
+    "Span",
+    "StageTracer",
+]

@@ -1,0 +1,76 @@
+"""Canonical metric and stage names.
+
+One authoritative list so the instrumented call sites, the snapshot
+readers, ``docs/OBSERVABILITY.md`` and ``tests/test_docs_consistency.py``
+cannot drift apart: the doc must mention every name below, and every
+metric-shaped name the doc mentions must exist here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .tracing import LATENCY_SUFFIX
+
+# -- stages (each emits `<stage>.latency_seconds`; its `count` is the call
+# count for that stage) ------------------------------------------------------
+
+STAGE_REPOSITORY_STORE_XML = "repository.store_xml"
+STAGE_REPOSITORY_STORE_HTML = "repository.store_html"
+STAGE_ALERTERS_BUILD_ALERT = "alerters.build_alert"
+STAGE_MQP_PROCESS_ALERT = "mqp.process_alert"
+STAGE_TRIGGERS_TICK = "triggers.tick"
+STAGE_REPORTER_TICK = "reporter.tick"
+
+STAGE_NAMES: Tuple[str, ...] = (
+    STAGE_REPOSITORY_STORE_XML,
+    STAGE_REPOSITORY_STORE_HTML,
+    STAGE_ALERTERS_BUILD_ALERT,
+    STAGE_MQP_PROCESS_ALERT,
+    STAGE_TRIGGERS_TICK,
+    STAGE_REPORTER_TICK,
+)
+
+# -- counters ----------------------------------------------------------------
+
+COUNTER_REPOSITORY_OUTCOMES = "repository.outcomes"  # labels: kind, status
+COUNTER_ALERTS_BUILT = "alerters.alerts_built"
+COUNTER_ALERTS_SUPPRESSED = "alerters.alerts_suppressed"
+COUNTER_MQP_NOTIFICATIONS = "mqp.notifications"  # label: shard
+COUNTER_TRIGGER_EVALUATIONS = "triggers.evaluations"
+COUNTER_REPORTS_GENERATED = "reporter.reports"
+COUNTER_DOCUMENTS_FED = "pipeline.documents_fed"
+COUNTER_DOCUMENTS_REJECTED = "pipeline.documents_rejected"  # label: reason
+COUNTER_NOTIFICATIONS_EMITTED = "pipeline.notifications_emitted"
+
+COUNTER_NAMES: Tuple[str, ...] = (
+    COUNTER_REPOSITORY_OUTCOMES,
+    COUNTER_ALERTS_BUILT,
+    COUNTER_ALERTS_SUPPRESSED,
+    COUNTER_MQP_NOTIFICATIONS,
+    COUNTER_TRIGGER_EVALUATIONS,
+    COUNTER_REPORTS_GENERATED,
+    COUNTER_DOCUMENTS_FED,
+    COUNTER_DOCUMENTS_REJECTED,
+    COUNTER_NOTIFICATIONS_EMITTED,
+)
+
+# -- gauges ------------------------------------------------------------------
+
+GAUGE_SUBSCRIPTIONS = "pipeline.subscriptions"
+
+GAUGE_NAMES: Tuple[str, ...] = (GAUGE_SUBSCRIPTIONS,)
+
+
+def stage_latency_name(stage: str) -> str:
+    return stage + LATENCY_SUFFIX
+
+
+#: Every metric name the assembled system can emit.
+ALL_METRIC_NAMES: Tuple[str, ...] = tuple(
+    sorted(
+        COUNTER_NAMES
+        + GAUGE_NAMES
+        + tuple(stage_latency_name(stage) for stage in STAGE_NAMES)
+    )
+)

@@ -30,8 +30,16 @@ from ..core.sharding import (
     SubscriptionPartitionedProcessor,
 )
 from ..diff.changes import classify_changes
-from ..errors import ReportingError, XMLSyntaxError
+from ..errors import ReportingError, ReproError
 from ..minisql import Database
+from ..observability.metrics import MetricsRegistry, split_key
+from ..observability.names import (
+    COUNTER_DOCUMENTS_FED,
+    COUNTER_DOCUMENTS_REJECTED,
+    COUNTER_NOTIFICATIONS_EMITTED,
+    GAUGE_SUBSCRIPTIONS,
+)
+from ..observability.tracing import LATENCY_SUFFIX
 from ..query.engine import QueryEngine
 from ..reporting.email_sink import EmailSink, WebPublisher
 from ..reporting.reporter import Reporter
@@ -72,36 +80,51 @@ class SubscriptionSystem:
         cost_controller: Optional[CostController] = None,
         shards: int = 1,
         shard_mode: str = "flow",
+        metrics: Optional[MetricsRegistry] = None,
     ):
         """``shards`` > 1 distributes the MQP (Section 4.2): ``shard_mode``
         is "flow" (documents partitioned; every shard holds all
         subscriptions) or "subscriptions" (subscriptions partitioned; every
-        document visits every shard)."""
+        document visits every shard).
+
+        ``metrics`` injects the observability registry threaded through
+        every stage; the default builds one over the system clock (so
+        latencies are deterministic under a :class:`SimulatedClock`).  Pass
+        :data:`~repro.observability.NULL_REGISTRY` to disable
+        instrumentation entirely.
+        """
         self.clock = clock if clock is not None else SimulatedClock()
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(self.clock)
+        )
         self.classifier = (
             classifier if classifier is not None else SemanticClassifier()
         )
         self.repository = Repository(
-            classifier=self.classifier, clock=self.clock
+            classifier=self.classifier, clock=self.clock,
+            metrics=self.metrics,
         )
         self.query_engine = QueryEngine(self.repository)
         if shards <= 1:
             self.processor: Any = MonitoringQueryProcessor(
-                matcher_factory=matcher_factory, clock=self.clock
+                matcher_factory=matcher_factory, clock=self.clock,
+                metrics=self.metrics, shard_label="0",
             )
         elif shard_mode == "subscriptions":
             self.processor = SubscriptionPartitionedProcessor(
                 shard_count=shards,
                 matcher_factory=matcher_factory,
                 clock=self.clock,
+                metrics=self.metrics,
             )
         else:
             self.processor = FlowPartitionedProcessor(
                 shard_count=shards,
                 matcher_factory=matcher_factory,
                 clock=self.clock,
+                metrics=self.metrics,
             )
-        self.alerter_chain = AlerterChain()
+        self.alerter_chain = AlerterChain(metrics=self.metrics)
         self.email_sink = EmailSink(
             clock=self.clock, daily_capacity=daily_email_capacity
         )
@@ -111,6 +134,7 @@ class SubscriptionSystem:
             email_sink=self.email_sink,
             publisher=self.publisher,
             report_query_runner=self._run_report_query,
+            metrics=self.metrics,
         )
         self.answer_store = QueryAnswerStore()
         self.trigger_engine = TriggerEngine(
@@ -118,6 +142,7 @@ class SubscriptionSystem:
             deliver=self._deliver_continuous,
             clock=self.clock,
             answer_store=self.answer_store,
+            metrics=self.metrics,
         )
         if cost_controller is None:
             cost_controller = CostController(
@@ -140,6 +165,11 @@ class SubscriptionSystem:
         self.processor.add_sink(self.manager.handle_notifications)
         self.documents_fed = 0
         self.documents_rejected = 0
+        self._fed_counter = self.metrics.counter(COUNTER_DOCUMENTS_FED)
+        self._emitted_counter = self.metrics.counter(
+            COUNTER_NOTIFICATIONS_EMITTED
+        )
+        self._subscriptions_gauge = self.metrics.gauge(GAUGE_SUBSCRIPTIONS)
 
     # -- subscription API -----------------------------------------------------------
 
@@ -151,15 +181,18 @@ class SubscriptionSystem:
         privileged: Optional[bool] = None,
     ) -> int:
         self.cost_controller.total_documents = len(self.repository)
-        return self.manager.add_subscription(
+        subscription_id = self.manager.add_subscription(
             source,
             owner_email=owner_email,
             recipients=recipients,
             privileged=privileged,
         )
+        self._subscriptions_gauge.set(self.manager.count())
+        return subscription_id
 
     def unsubscribe(self, subscription_id: int) -> None:
         self.manager.remove_subscription(subscription_id)
+        self._subscriptions_gauge.set(self.manager.count())
 
     # -- document flow ------------------------------------------------------------------
 
@@ -202,32 +235,98 @@ class SubscriptionSystem:
     ) -> List[FeedResult]:
         """Feed a whole stream.
 
-        Real crawls contain malformed pages; with ``skip_malformed`` (the
-        default) a page the loader rejects is counted
-        (``documents_rejected``) and skipped rather than aborting the
-        stream.
+        Real crawls contain malformed pages and kind-confused URLs; with
+        ``skip_malformed`` (the default) a page the loader rejects — any
+        :class:`ReproError` subclass it raises, not only
+        :class:`XMLSyntaxError` — is counted (``documents_rejected``, plus
+        a ``pipeline.documents_rejected{reason=...}`` metric recording the
+        error class) and skipped rather than aborting the stream.
         """
         results: List[FeedResult] = []
         for fetch in stream:
             try:
                 results.append(self.feed(fetch))
-            except XMLSyntaxError:
+            except ReproError as exc:
                 if not skip_malformed:
                     raise
                 self.documents_rejected += 1
+                self.metrics.counter(
+                    COUNTER_DOCUMENTS_REJECTED, reason=type(exc).__name__
+                ).inc()
         return results
 
     def _process(
         self, outcome: FetchOutcome, fetched: FetchedDocument
     ) -> FeedResult:
         self.documents_fed += 1
+        self._fed_counter.inc()
         alert = self.alerter_chain.build_alert(fetched)
         notifications: List[Notification] = []
         if alert is not None:
             notifications = self.processor.process_alert(alert)
+            if notifications:
+                self._emitted_counter.inc(len(notifications))
         return FeedResult(
             outcome=outcome, alert=alert, notifications=notifications
         )
+
+    # -- observability -------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-dict view of the whole pipeline's metrics.
+
+        Layout::
+
+            {
+              "documents_fed": int,            # pages that entered the system
+              "documents_rejected": int,       # loader-rejected pages
+              "rejections": {reason: count},   # per error-class breakdown
+              "notifications_emitted": int,    # MQP notifications, total
+              "shard_load": {"0": n, ...},     # alerts inspected per shard
+              "stages": {stage: calls},        # per-stage call counts
+              "counters": {...},               # raw labelled counters
+              "gauges": {...},
+              "histograms": {...},             # per-stage latency histograms
+            }
+
+        ``counters`` / ``gauges`` / ``histograms`` keep full label detail
+        (keys rendered ``name{k=v,...}``); ``stages`` sums each stage's
+        latency-histogram counts across labels, so for a clean stream
+        ``stages["repository.store_xml"] + stages["repository.store_html"]
+        == documents_fed``.
+        """
+        raw = self.metrics.snapshot()
+        stages: dict = {}
+        for key, payload in raw["histograms"].items():
+            name, _ = split_key(key)
+            if name.endswith(LATENCY_SUFFIX):
+                stage = name[: -len(LATENCY_SUFFIX)]
+                stages[stage] = stages.get(stage, 0) + payload["count"]
+        rejections: dict = {}
+        for key, value in raw["counters"].items():
+            name, labels = split_key(key)
+            if name == COUNTER_DOCUMENTS_REJECTED:
+                reason = labels.get("reason", "unknown")
+                rejections[reason] = rejections.get(reason, 0) + int(value)
+        if hasattr(self.processor, "shard_load"):
+            loads = self.processor.shard_load()
+        else:
+            loads = [self.processor.stats.alerts_processed]
+        return {
+            "documents_fed": self.documents_fed,
+            "documents_rejected": self.documents_rejected,
+            "rejections": rejections,
+            "notifications_emitted": int(
+                self.metrics.counter_total(COUNTER_NOTIFICATIONS_EMITTED)
+            ),
+            "shard_load": {
+                str(index): load for index, load in enumerate(loads)
+            },
+            "stages": stages,
+            "counters": raw["counters"],
+            "gauges": raw["gauges"],
+            "histograms": raw["histograms"],
+        }
 
     # -- time ----------------------------------------------------------------------------
 

@@ -23,6 +23,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..clock import Clock, SimulatedClock
 from ..errors import ReportingError
 from ..language.ast import ReportCondition
+from ..observability.metrics import MetricsRegistry, NULL_REGISTRY
+from ..observability.names import (
+    COUNTER_REPORTS_GENERATED,
+    STAGE_REPORTER_TICK,
+)
+from ..observability.tracing import StageTracer
 from ..language.frequencies import period_seconds
 from ..xmlstore.nodes import Document, ElementNode
 from ..xmlstore.serializer import serialize
@@ -75,8 +81,14 @@ class Reporter:
         publisher: Optional[WebPublisher] = None,
         archive: Optional[ReportArchive] = None,
         report_query_runner: Optional[ReportQueryRunner] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.clock = clock if clock is not None else SimulatedClock()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._tick_latency = StageTracer(self.metrics).stage_histogram(
+            STAGE_REPORTER_TICK
+        )
+        self._reports = self.metrics.counter(COUNTER_REPORTS_GENERATED)
         self.email_sink = (
             email_sink if email_sink is not None else EmailSink(self.clock)
         )
@@ -150,12 +162,14 @@ class Reporter:
 
         Returns the number of reports generated by this tick.
         """
+        start = self.metrics.now()
         generated = 0
         for buffer in list(self._buffers.values()):
             if self._maybe_report(buffer):
                 generated += 1
         self.email_sink.drain_backlog()
         self.archive.garbage_collect()
+        self._tick_latency.observe(self.metrics.now() - start)
         return generated
 
     # -- reporting ---------------------------------------------------------------------
@@ -221,6 +235,7 @@ class Reporter:
         buffer.last_delivery_at = now
         buffer.pending_rate_limited = False
         self.stats.reports_generated += 1
+        self._reports.inc()
 
     # -- introspection -------------------------------------------------------------------
 

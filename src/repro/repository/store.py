@@ -31,6 +31,13 @@ from ..diff import (
     page_signature,
 )
 from ..errors import DiffError, DocumentNotFound, RepositoryError
+from ..observability.metrics import MetricsRegistry, NULL_REGISTRY
+from ..observability.names import (
+    COUNTER_REPOSITORY_OUTCOMES,
+    STAGE_REPOSITORY_STORE_HTML,
+    STAGE_REPOSITORY_STORE_XML,
+)
+from ..observability.tracing import StageTracer
 from ..xmlstore.nodes import Document
 from ..xmlstore.parser import parse
 from .index import WarehouseIndexes
@@ -75,11 +82,18 @@ class Repository:
         classifier: Optional[SemanticClassifier] = None,
         clock: Optional[Clock] = None,
         keep_versions: int = 8,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.classifier = (
             classifier if classifier is not None else SemanticClassifier()
         )
         self.clock = clock if clock is not None else SimulatedClock()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        tracer = StageTracer(self.metrics)
+        self._xml_latency = tracer.stage_histogram(STAGE_REPOSITORY_STORE_XML)
+        self._html_latency = tracer.stage_histogram(
+            STAGE_REPOSITORY_STORE_HTML
+        )
         self.indexes = WarehouseIndexes()
         self.keep_versions = max(1, keep_versions)
         self._by_url: Dict[str, int] = {}
@@ -91,7 +105,25 @@ class Repository:
     def store_xml(
         self, url: str, content: Union[str, Document]
     ) -> FetchOutcome:
-        """Load one fetched XML page; returns the change outcome."""
+        """Load one fetched XML page; returns the change outcome.
+
+        Instrumentation: a successful store observes one latency sample on
+        ``repository.store_xml.latency_seconds`` and bumps
+        ``repository.outcomes{kind=xml,status=...}``; a rejected page (the
+        parser raised) records nothing here — the pipeline accounts for
+        rejects with their reason.
+        """
+        start = self.metrics.now()
+        outcome = self._store_xml(url, content)
+        self._xml_latency.observe(self.metrics.now() - start)
+        self.metrics.counter(
+            COUNTER_REPOSITORY_OUTCOMES, kind=XML, status=outcome.status
+        ).inc()
+        return outcome
+
+    def _store_xml(
+        self, url: str, content: Union[str, Document]
+    ) -> FetchOutcome:
         document = parse(content) if isinstance(content, str) else content
         now = self.clock.now()
         doc_id = self._by_url.get(url)
@@ -206,6 +238,15 @@ class Repository:
 
     def store_html(self, url: str, content: str) -> FetchOutcome:
         """Track a non-warehoused HTML page: signature only."""
+        start = self.metrics.now()
+        outcome = self._store_html(url, content)
+        self._html_latency.observe(self.metrics.now() - start)
+        self.metrics.counter(
+            COUNTER_REPOSITORY_OUTCOMES, kind=HTML, status=outcome.status
+        ).inc()
+        return outcome
+
+    def _store_html(self, url: str, content: str) -> FetchOutcome:
         now = self.clock.now()
         signature = page_signature(content)
         doc_id = self._by_url.get(url)

@@ -24,6 +24,12 @@ from ..clock import Clock, SimulatedClock
 from ..diff import XidSpace, compute_delta
 from ..errors import TriggerError
 from ..language.ast import ContinuousQuery
+from ..observability.metrics import MetricsRegistry, NULL_REGISTRY
+from ..observability.names import (
+    COUNTER_TRIGGER_EVALUATIONS,
+    STAGE_TRIGGERS_TICK,
+)
+from ..observability.tracing import StageTracer
 from ..language.frequencies import period_seconds
 from ..query.engine import QueryEngine
 from ..xmlstore.nodes import Document, ElementNode
@@ -58,6 +64,7 @@ class TriggerEngine:
         deliver: DeliverCallback,
         clock: Optional[Clock] = None,
         answer_store=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         """``answer_store`` (a
         :class:`~repro.triggers.answers.QueryAnswerStore`) optionally
@@ -66,6 +73,11 @@ class TriggerEngine:
         self.deliver = deliver
         self.clock = clock if clock is not None else SimulatedClock()
         self.answer_store = answer_store
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._tick_latency = StageTracer(self.metrics).stage_histogram(
+            STAGE_TRIGGERS_TICK
+        )
+        self._evaluations = self.metrics.counter(COUNTER_TRIGGER_EVALUATIONS)
         self.stats = TriggerStats()
         self._queries: Dict[Tuple[int, str], _RegisteredQuery] = {}
         #: (subscription_name, monitoring_query_name) -> [(sub_id, cq name)]
@@ -152,6 +164,14 @@ class TriggerEngine:
 
         Returns the number of continuous-query evaluations performed.
         """
+        start = self.metrics.now()
+        evaluated = self._tick()
+        self._tick_latency.observe(self.metrics.now() - start)
+        if evaluated:
+            self._evaluations.inc(evaluated)
+        return evaluated
+
+    def _tick(self) -> int:
         now = self.clock.now()
         evaluated = 0
         while self._scheduled_actions and self._scheduled_actions[0][0] <= now:

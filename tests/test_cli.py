@@ -71,6 +71,52 @@ class TestDemo:
         assert "documents fed" in out
 
 
+class TestStats:
+    def test_stats_prints_snapshot_json(self, capsys):
+        import json
+
+        assert main(["stats", "--sites", "3", "--days", "2"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["documents_fed"] > 0
+        assert "repository.store_xml" in snapshot["stages"]
+        assert "mqp.process_alert" in snapshot["stages"]
+
+    def test_stats_writes_metrics_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "snap.json"
+        assert main(
+            ["stats", "--sites", "3", "--days", "2",
+             "--metrics-json", str(path)]
+        ) == 0
+        assert str(path) in capsys.readouterr().out
+        snapshot = json.loads(path.read_text())
+        assert snapshot["documents_fed"] > 0
+
+    def test_stats_sharded_modes(self, capsys):
+        import json
+
+        for mode in ("flow", "subscriptions"):
+            assert main(
+                ["stats", "--sites", "3", "--days", "2",
+                 "--shards", "2", "--shard-mode", mode]
+            ) == 0
+            snapshot = json.loads(capsys.readouterr().out)
+            assert len(snapshot["shard_load"]) == 2
+
+    def test_demo_metrics_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "demo.json"
+        assert main(
+            ["demo", "--sites", "3", "--days", "3",
+             "--metrics-json", str(path)]
+        ) == 0
+        assert "documents fed" in capsys.readouterr().out
+        snapshot = json.loads(path.read_text())
+        assert "histograms" in snapshot and "counters" in snapshot
+
+
 class TestMatch:
     def test_match_micro_bench(self, capsys):
         code = main(

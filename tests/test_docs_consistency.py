@@ -76,6 +76,35 @@ class TestExperimentsDocument:
             assert experiment in experiments
 
 
+class TestObservabilityDocument:
+    #: Backticked dotted lowercase tokens are metric-shaped; module paths
+    #: (``repro...``) and file names are not metric references.
+    METRIC_TOKEN = re.compile(r"`([a-z_]+(?:\.[a-z_]+)+)`")
+    IGNORED_SUFFIXES = (".py", ".md", ".json", ".yml")
+
+    def test_every_metric_name_documented(self):
+        from repro.observability.names import ALL_METRIC_NAMES
+
+        doc = read("docs/OBSERVABILITY.md")
+        for name in ALL_METRIC_NAMES:
+            assert f"`{name}`" in doc, f"{name} missing from OBSERVABILITY.md"
+
+    def test_every_documented_metric_exists(self):
+        from repro.observability.names import ALL_METRIC_NAMES, STAGE_NAMES
+
+        known = set(ALL_METRIC_NAMES) | set(STAGE_NAMES)
+        doc = read("docs/OBSERVABILITY.md")
+        for token in self.METRIC_TOKEN.findall(doc):
+            if token.startswith("repro") or token.endswith(
+                self.IGNORED_SUFFIXES
+            ):
+                continue
+            assert token in known, f"OBSERVABILITY.md names unknown {token}"
+
+    def test_readme_links_observability_doc(self):
+        assert "docs/OBSERVABILITY.md" in read("README.md")
+
+
 class TestLanguageReference:
     def test_grammar_examples_parse(self):
         from repro.language import parse_subscription

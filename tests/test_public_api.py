@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.diff",
     "repro.language",
     "repro.minisql",
+    "repro.observability",
     "repro.pipeline",
     "repro.query",
     "repro.reporting",
