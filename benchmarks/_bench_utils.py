@@ -98,6 +98,28 @@ def dump_metrics_snapshot(
     return path
 
 
+def bench_output_path(name: str, directory: Optional[str] = None) -> str:
+    """Where :func:`dump_bench_json` writes ``BENCH_<name>.json``."""
+    if directory is None:
+        directory = os.environ.get("REPRO_BENCH_METRICS_DIR", ".")
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def dump_bench_json(
+    payload: Dict, name: str, directory: Optional[str] = None
+) -> str:
+    """Write one benchmark's machine-readable results as
+    ``BENCH_<name>.json`` (same directory convention as
+    :func:`dump_metrics_snapshot`), so the perf trajectory across PRs can
+    be diffed.  Returns the path written.
+    """
+    path = bench_output_path(name, directory)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def print_series(title: str, header: str, rows: List[str]) -> None:
     """Paper-style series printout (shown with ``pytest -s``)."""
     print()

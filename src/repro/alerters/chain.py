@@ -15,7 +15,7 @@ In this case only, an alert ... is sent."
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.events import AtomicEventKey, WEAK_KINDS
 from ..core.processor import Alert
@@ -83,21 +83,46 @@ class AlerterChain:
         """Run all alerters; return the alert, or None if only weak events
         (or nothing) fired."""
         start = self.metrics.now()
-        alert = self._build_alert(fetched)
-        self._latency.observe(self.metrics.now() - start)
-        if alert is not None:
-            self._built.inc()
-        else:
-            self._suppressed.inc()
-        return alert
+        codes, data = self.detect_events(fetched)
+        return self._finish(self.assemble_alert(fetched, codes, data), start)
 
-    def _build_alert(self, fetched: FetchedDocument) -> Optional[Alert]:
+    def detect_events(
+        self, fetched: FetchedDocument
+    ) -> Tuple[Set[int], Dict[int, Any]]:
+        """Run every alerter over one document and merge the detections.
+
+        This is the pure, read-only half of :meth:`build_alert`: it only
+        reads the registered pattern tables, so executors may run it
+        concurrently across documents on worker threads.
+        """
         codes: Set[int] = set()
         data: Dict[int, Any] = {}
         for alerter in self.alerters:
             detected, payload = alerter.detect(fetched)
             codes |= detected
             data.update(payload)
+        return codes, data
+
+    def finish_alert(
+        self,
+        fetched: FetchedDocument,
+        detection: Tuple[Set[int], Dict[int, Any]],
+    ) -> Optional[Alert]:
+        """Gate and assemble a pre-computed detection (second half of
+        :meth:`build_alert` for executors that ran :meth:`detect_events` on
+        a worker thread); metric counts match :meth:`build_alert` exactly.
+        """
+        start = self.metrics.now()
+        codes, data = detection
+        return self._finish(self.assemble_alert(fetched, codes, data), start)
+
+    def assemble_alert(
+        self,
+        fetched: FetchedDocument,
+        codes: Set[int],
+        data: Dict[int, Any],
+    ) -> Optional[Alert]:
+        """Section 5.1 weak/strong gating + alert assembly (no metrics)."""
         if not codes:
             return None
         strong = codes - self._weak_codes
@@ -108,3 +133,11 @@ class AlerterChain:
             event_codes=sorted(codes),
             data=data,
         )
+
+    def _finish(self, alert: Optional[Alert], start: float) -> Optional[Alert]:
+        self._latency.observe(self.metrics.now() - start)
+        if alert is not None:
+            self._built.inc()
+        else:
+            self._suppressed.inc()
+        return alert

@@ -66,6 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--sites", type=int, default=10)
     demo.add_argument("--days", type=int, default=7)
     demo.add_argument("--seed", type=int, default=7)
+    _add_executor_arguments(demo)
     demo.add_argument(
         "--metrics-json",
         metavar="PATH",
@@ -89,6 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["flow", "subscriptions"],
         default="flow",
     )
+    _add_executor_arguments(stats)
     stats.add_argument(
         "--metrics-json",
         metavar="PATH",
@@ -115,6 +117,22 @@ def _build_parser() -> argparse.ArgumentParser:
     match.set_defaults(handler=_cmd_match)
 
     return parser
+
+
+def _add_executor_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--executor",
+        choices=["serial", "threaded", "sharded"],
+        default=None,
+        help="batch executor for the document stream"
+        " (default: $REPRO_EXECUTOR or serial)",
+    )
+    subparser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="documents per executor batch (default: 32)",
+    )
 
 
 # -- commands -------------------------------------------------------------------
@@ -149,15 +167,18 @@ def _cmd_fmt(args: argparse.Namespace) -> int:
 
 def _run_simulation(
     sites: int, days: int, seed: int, shards: int = 1,
-    shard_mode: str = "flow",
+    shard_mode: str = "flow", executor: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ):
     """The shared demo/stats scenario: crawl ``sites`` for ``days``."""
-    from .pipeline import SubscriptionSystem
+    from .pipeline import DEFAULT_BATCH_SIZE, SubscriptionSystem
     from .webworld import ChangeModel, SimulatedCrawler, SiteGenerator
 
     clock = SimulatedClock(990_000_000.0)
     system = SubscriptionSystem(
-        clock=clock, shards=shards, shard_mode=shard_mode
+        clock=clock, shards=shards, shard_mode=shard_mode,
+        executor=executor,
+        batch_size=DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
     )
     generator = SiteGenerator(seed=seed)
     crawler = SimulatedCrawler(
@@ -183,8 +204,7 @@ def _run_simulation(
         owner_email="demo@example.org",
     )
     for _ in range(days):
-        for fetch in crawler.due_fetches():
-            system.feed(fetch)
+        system.run_stream(crawler.due_fetches())
         system.advance_days(1)
     return system
 
@@ -198,7 +218,10 @@ def _write_metrics_json(system, path: Optional[str]) -> None:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    system = _run_simulation(args.sites, args.days, args.seed)
+    system = _run_simulation(
+        args.sites, args.days, args.seed,
+        executor=args.executor, batch_size=args.batch_size,
+    )
     stats = system.processor.stats
     print(f"{args.sites} sites crawled over {args.days} simulated days")
     print(f"  documents fed  : {system.documents_fed}")
@@ -216,6 +239,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     system = _run_simulation(
         args.sites, args.days, args.seed,
         shards=args.shards, shard_mode=args.shard_mode,
+        executor=args.executor, batch_size=args.batch_size,
     )
     if args.metrics_json:
         _write_metrics_json(system, args.metrics_json)

@@ -109,3 +109,8 @@ class ReportingError(ReproError):
 
 class TriggerError(ReproError):
     """Raised by the Trigger Engine (``repro.triggers``)."""
+
+
+class PipelineError(ReproError):
+    """Raised by the staged ingestion pipeline for configuration mistakes
+    (unknown executor name, non-positive batch size)."""

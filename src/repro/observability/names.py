@@ -31,6 +31,18 @@ STAGE_NAMES: Tuple[str, ...] = (
     STAGE_REPORTER_TICK,
 )
 
+# -- executor stages (batch path only: they appear when documents are fed
+# through feed_batch / run_stream, not through single-document feeds, so
+# they are catalogued separately from the always-present STAGE_NAMES) -------
+
+STAGE_EXECUTOR_RUN_BATCH = "executor.run_batch"  # label: executor
+STAGE_EXECUTOR_STAGE = "executor.stage"  # labels: executor, stage
+
+EXECUTOR_STAGE_NAMES: Tuple[str, ...] = (
+    STAGE_EXECUTOR_RUN_BATCH,
+    STAGE_EXECUTOR_STAGE,
+)
+
 # -- counters ----------------------------------------------------------------
 
 COUNTER_REPOSITORY_OUTCOMES = "repository.outcomes"  # labels: kind, status
@@ -58,8 +70,18 @@ COUNTER_NAMES: Tuple[str, ...] = (
 # -- gauges ------------------------------------------------------------------
 
 GAUGE_SUBSCRIPTIONS = "pipeline.subscriptions"
+GAUGE_EXECUTOR_QUEUE_DEPTH = "executor.queue_depth"
 
-GAUGE_NAMES: Tuple[str, ...] = (GAUGE_SUBSCRIPTIONS,)
+GAUGE_NAMES: Tuple[str, ...] = (
+    GAUGE_SUBSCRIPTIONS,
+    GAUGE_EXECUTOR_QUEUE_DEPTH,
+)
+
+# -- free-standing histograms (not latency-suffixed stage histograms) --------
+
+HISTOGRAM_BATCH_SIZE = "executor.batch_size"  # label: executor
+
+HISTOGRAM_NAMES: Tuple[str, ...] = (HISTOGRAM_BATCH_SIZE,)
 
 
 def stage_latency_name(stage: str) -> str:
@@ -71,6 +93,10 @@ ALL_METRIC_NAMES: Tuple[str, ...] = tuple(
     sorted(
         COUNTER_NAMES
         + GAUGE_NAMES
-        + tuple(stage_latency_name(stage) for stage in STAGE_NAMES)
+        + HISTOGRAM_NAMES
+        + tuple(
+            stage_latency_name(stage)
+            for stage in STAGE_NAMES + EXECUTOR_STAGE_NAMES
+        )
     )
 )

@@ -1,13 +1,32 @@
 """End-to-end subscription system assembly."""
 
-from .stream import Fetch, from_pairs, HTML_PAGE, XML_PAGE
-from .system import FeedResult, SubscriptionSystem
+from .executor import (
+    BatchExecutor,
+    DEFAULT_BATCH_SIZE,
+    EXECUTORS,
+    SerialExecutor,
+    ShardFanoutExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
+from .stages import FeedResult, PipelineTask
+from .stream import Fetch, chunked, from_pairs, HTML_PAGE, XML_PAGE
+from .system import SubscriptionSystem
 
 __all__ = [
+    "BatchExecutor",
+    "DEFAULT_BATCH_SIZE",
+    "EXECUTORS",
     "Fetch",
-    "from_pairs",
-    "HTML_PAGE",
-    "XML_PAGE",
     "FeedResult",
+    "HTML_PAGE",
+    "PipelineTask",
+    "SerialExecutor",
+    "ShardFanoutExecutor",
     "SubscriptionSystem",
+    "ThreadedExecutor",
+    "XML_PAGE",
+    "chunked",
+    "from_pairs",
+    "make_executor",
 ]

@@ -1,0 +1,390 @@
+"""Pluggable batch executors for the staged ingestion pipeline.
+
+The paper's Xyleme scales ingestion by running its Figure 3 stages as
+independent processes; related FPGA/cluster work (see PAPERS.md) scales the
+*match* stage by fanning one document stream across parallel engines.  This
+module gives the reproduction the same seam: a :class:`BatchExecutor` turns
+one batch of :class:`~repro.pipeline.stages.PipelineTask` items into
+completed tasks, and the three implementations trade concurrency for
+simplicity without changing observable behaviour:
+
+* :class:`SerialExecutor` — the default; byte-for-byte today's one-document-
+  at-a-time behaviour, each task running the full lifecycle in input order.
+* :class:`ThreadedExecutor` — fans the *pure* stages (XML parsing, alerter
+  detection) out over a shared thread pool, then merges back into input
+  order before the stateful load/alert/match stages.  Under the CPython GIL
+  this buys overlap rather than raw speedup (the bench records the actual
+  ratio); the ordered merge is what the next PRs' process pools and async
+  crawlers will plug into.
+* :class:`ShardFanoutExecutor` — runs the front half in order, then fans
+  the batch's alerts out across a
+  :class:`~repro.core.sharding.FlowPartitionedProcessor`'s shards
+  concurrently (one worker per occupied shard) instead of the serial
+  shard loop, dispatching notifications in input order afterwards.
+
+Equivalence contract (property-tested): for the same stream, every
+executor produces the same notification multiset, the same rejection
+accounting and the same document/notification counters as the serial path.
+
+Every executor observes the same batch metrics: one
+``executor.stage.latency_seconds{executor=,stage=}`` observation per stage
+per batch (the total time the batch spent in that stage), plus the
+``executor.batch_size`` histogram, ``executor.run_batch.latency_seconds``
+and the ``executor.queue_depth`` gauge maintained by
+:meth:`~repro.pipeline.system.SubscriptionSystem.feed_batch`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.sharding import FlowPartitionedProcessor
+from ..errors import PipelineError
+from ..observability.metrics import MetricsRegistry
+from ..observability.names import STAGE_EXECUTOR_STAGE, stage_latency_name
+from .stages import (
+    LIFECYCLE,
+    PipelineTask,
+    STAGE_ALERT,
+    STAGE_CLASSIFY,
+    STAGE_DETECT,
+    STAGE_LOAD,
+    STAGE_MATCH,
+    STAGE_PARSE,
+    STAGE_ROUTE,
+    alert_stage,
+    classify_stage,
+    detect_stage,
+    load_stage,
+    match_stage,
+    parse_stage,
+    raise_if_fatal,
+    route_stage,
+    run_stage,
+)
+
+#: Documents per batch when the caller does not choose (``run_stream``).
+DEFAULT_BATCH_SIZE = 32
+
+#: Environment variable naming the default executor (CI runs the whole
+#: tier-1 suite with ``REPRO_EXECUTOR=threaded`` to exercise the
+#: non-default path).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Buckets for the ``executor.batch_size`` histogram (documents, not
+#: seconds — powers of two up to well past any sensible batch).
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+)
+
+
+class _StageTimer:
+    """Accumulates per-stage elapsed time across one batch.
+
+    ``flush`` records one observation per touched stage into
+    ``executor.stage.latency_seconds{executor=<name>,stage=<stage>}`` — the
+    total time this batch spent in that stage, whichever executor shape
+    (per-task interleaving or whole-batch sweeps) produced it.
+    """
+
+    __slots__ = ("metrics", "executor", "elapsed")
+
+    def __init__(self, metrics: MetricsRegistry, executor: str):
+        self.metrics = metrics
+        self.executor = executor
+        self.elapsed: Dict[str, float] = {}
+
+    def start(self) -> float:
+        return self.metrics.now()
+
+    def stop(self, stage: str, start: float) -> None:
+        self.elapsed[stage] = (
+            self.elapsed.get(stage, 0.0) + self.metrics.now() - start
+        )
+
+    def flush(self) -> None:
+        for stage, total in self.elapsed.items():
+            self.metrics.histogram(
+                stage_latency_name(STAGE_EXECUTOR_STAGE),
+                executor=self.executor,
+                stage=stage,
+            ).observe(total)
+
+
+class BatchExecutor:
+    """How one batch of tasks moves through the stage lifecycle.
+
+    ``run_batch`` must run the stateful stages (load/classify/alert/match/
+    route) in input order and honour the error-slot contract; with
+    ``stop_on_error`` it must not run any stateful stage for tasks after
+    the first rejected one (strict-mode streams abort at the first bad
+    document, exactly like sequential feeding).
+    """
+
+    name = "base"
+
+    def run_batch(
+        self,
+        system: Any,
+        tasks: List[PipelineTask],
+        stop_on_error: bool = False,
+    ) -> List[PipelineTask]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; executors without any
+        are free to inherit this no-op)."""
+
+
+class SerialExecutor(BatchExecutor):
+    """The reference executor: each task runs the full lifecycle, one task
+    at a time, in input order — byte-for-byte the pre-batching behaviour."""
+
+    name = "serial"
+
+    def run_batch(
+        self,
+        system: Any,
+        tasks: List[PipelineTask],
+        stop_on_error: bool = False,
+    ) -> List[PipelineTask]:
+        timer = _StageTimer(system.metrics, self.name)
+        for task in tasks:
+            raise_if_fatal(task)
+            for stage, step in LIFECYCLE:
+                start = timer.start()
+                run_stage(stage, step, system, task)
+                timer.stop(stage, start)
+                if task.error is not None:
+                    break
+            if task.error is not None and stop_on_error:
+                break
+        timer.flush()
+        return tasks
+
+
+class ThreadedExecutor(BatchExecutor):
+    """Thread pool over the pure stages, ordered merge over the rest.
+
+    Sweep layout per batch::
+
+        1. parse    — worker threads (pure: XML text -> Document)
+        2. load + classify — input order (repository state)
+        3. detect   — worker threads (pure: read-only alerter tables)
+        4. alert + match + route — input order (counters, MQP, sinks)
+
+    Work is fanned out in contiguous slices — one future per worker, with
+    the main thread taking the first slice — so per-item submission
+    overhead stays negligible at small batch sizes.  The pool is created
+    lazily and reused across batches.
+    """
+
+    name = "threaded"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 2)
+        self.max_workers = max(1, int(max_workers))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # -- pool plumbing ----------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-executor",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    @staticmethod
+    def _run_slice(
+        step: Callable[[PipelineTask], Any], items: Sequence[PipelineTask]
+    ) -> None:
+        for item in items:
+            step(item)
+
+    def _sweep(
+        self, step: Callable[[PipelineTask], Any], items: List[PipelineTask]
+    ) -> None:
+        """Apply a pure per-task step across the pool in slices.
+
+        ``step`` must never raise — the stage steps used here park failures
+        on the task instead (see the error-slot contract).
+        """
+        if len(items) <= 1 or self.max_workers == 1:
+            self._run_slice(step, items)
+            return
+        workers = min(self.max_workers, len(items))
+        bound = -(-len(items) // workers)  # ceil division
+        slices = [
+            items[offset : offset + bound]
+            for offset in range(0, len(items), bound)
+        ]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self._run_slice, step, piece) for piece in slices[1:]
+        ]
+        self._run_slice(step, slices[0])  # main thread takes a share too
+        for future in futures:
+            future.result()
+
+    # -- the batch --------------------------------------------------------
+
+    def run_batch(
+        self,
+        system: Any,
+        tasks: List[PipelineTask],
+        stop_on_error: bool = False,
+    ) -> List[PipelineTask]:
+        timer = _StageTimer(system.metrics, self.name)
+
+        start = timer.start()
+        self._sweep(
+            parse_stage,
+            [t for t in tasks if t.fetch.is_xml and t.document is None],
+        )
+        timer.stop(STAGE_PARSE, start)
+
+        reached = len(tasks)
+        for position, task in enumerate(tasks):
+            raise_if_fatal(task)
+            start = timer.start()
+            run_stage(STAGE_LOAD, load_stage, system, task)
+            timer.stop(STAGE_LOAD, start)
+            start = timer.start()
+            run_stage(STAGE_CLASSIFY, classify_stage, system, task)
+            timer.stop(STAGE_CLASSIFY, start)
+            if task.error is not None and stop_on_error:
+                reached = position + 1
+                break
+        live = tasks[:reached]
+
+        start = timer.start()
+        self._sweep(
+            partial(detect_stage, system),
+            [t for t in live if t.error is None],
+        )
+        timer.stop(STAGE_DETECT, start)
+
+        for task in live:
+            for stage, step in (
+                (STAGE_ALERT, alert_stage),
+                (STAGE_MATCH, match_stage),
+                (STAGE_ROUTE, route_stage),
+            ):
+                start = timer.start()
+                run_stage(stage, step, system, task)
+                timer.stop(stage, start)
+                if task.error is not None:
+                    break
+            if task.error is not None and stop_on_error:
+                break
+        timer.flush()
+        return tasks
+
+
+class ShardFanoutExecutor(BatchExecutor):
+    """Sharded-parallel match: the batch's alerts fan out across the flow
+    partitioner's shards concurrently instead of the serial shard loop.
+
+    The front half (load/classify/alert) runs in input order; the match
+    sweep groups alerts by owning shard and matches each group on its own
+    worker thread (:meth:`FlowPartitionedProcessor.match_alert_batch`);
+    sink dispatch then happens in input order, so everything downstream of
+    the MQP sees exactly the serial sequence.  On a system without a
+    multi-shard flow partitioner the match sweep degrades to the serial
+    loop.
+    """
+
+    name = "sharded"
+
+    def run_batch(
+        self,
+        system: Any,
+        tasks: List[PipelineTask],
+        stop_on_error: bool = False,
+    ) -> List[PipelineTask]:
+        timer = _StageTimer(system.metrics, self.name)
+        reached = len(tasks)
+        for position, task in enumerate(tasks):
+            raise_if_fatal(task)
+            for stage, step in (
+                (STAGE_LOAD, load_stage),
+                (STAGE_CLASSIFY, classify_stage),
+                (STAGE_ALERT, alert_stage),
+            ):
+                start = timer.start()
+                run_stage(stage, step, system, task)
+                timer.stop(stage, start)
+                if task.error is not None:
+                    break
+            if task.error is not None and stop_on_error:
+                reached = position + 1
+                break
+        live = tasks[:reached]
+
+        matchable = [
+            t for t in live if t.error is None and t.alert is not None
+        ]
+        processor = system.processor
+        start = timer.start()
+        if (
+            isinstance(processor, FlowPartitionedProcessor)
+            and processor.shard_count > 1
+            and len(matchable) > 1
+        ):
+            batches = processor.match_alert_batch(
+                [task.alert for task in matchable]
+            )
+            for task, notifications in zip(matchable, batches):
+                processor.dispatch(notifications)
+                task.notifications = notifications
+                task.stage = STAGE_MATCH
+        else:
+            for task in matchable:
+                run_stage(STAGE_MATCH, match_stage, system, task)
+        timer.stop(STAGE_MATCH, start)
+
+        for task in live:
+            start = timer.start()
+            run_stage(STAGE_ROUTE, route_stage, system, task)
+            timer.stop(STAGE_ROUTE, start)
+        timer.flush()
+        return tasks
+
+
+#: Registry for CLI / constructor string specs.
+EXECUTORS: Dict[str, Callable[[], BatchExecutor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadedExecutor.name: ThreadedExecutor,
+    ShardFanoutExecutor.name: ShardFanoutExecutor,
+}
+
+
+def make_executor(
+    spec: Union[str, BatchExecutor, None] = None,
+) -> BatchExecutor:
+    """Resolve an executor: an instance passes through, a name is looked
+    up, ``None`` falls back to ``$REPRO_EXECUTOR`` and then to serial."""
+    if isinstance(spec, BatchExecutor):
+        return spec
+    if spec is None:
+        spec = os.environ.get(EXECUTOR_ENV) or SerialExecutor.name
+    factory = EXECUTORS.get(str(spec).strip().lower())
+    if factory is None:
+        known = ", ".join(sorted(EXECUTORS))
+        raise PipelineError(f"unknown executor {spec!r} (choose from {known})")
+    return factory()

@@ -7,60 +7,68 @@ Processor detects complex events, notifications are routed by the
 Subscription Manager to the Reporter and the Trigger Engine, and reports
 leave through the email sink / web publisher.
 
+Documents travel through the staged pipeline of
+:mod:`repro.pipeline.stages`; single pages go through :meth:`feed_xml` /
+:meth:`feed_html`, whole crawls through :meth:`feed_batch` /
+:meth:`run_stream`, which hand each batch to the pluggable
+:class:`~repro.pipeline.executor.BatchExecutor` (serial by default).
+
 This is the facade examples and integration tests use::
 
-    system = SubscriptionSystem()
+    system = SubscriptionSystem(executor="threaded", batch_size=64)
     system.subscribe('subscription S ...', owner_email='user@example.org')
     system.feed_xml('http://site/catalog.xml', '<catalog>...</catalog>')
+    system.run_stream(crawler.due_fetches())
     system.advance_days(7)   # trigger engine + reporter timers run
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 from ..alerters.chain import AlerterChain
-from ..alerters.context import FetchedDocument
 from ..clock import Clock, SECONDS_PER_DAY, SimulatedClock
 from ..core.aes import AESMatcher
-from ..core.processor import Alert, MonitoringQueryProcessor, Notification
+from ..core.processor import MonitoringQueryProcessor
 from ..core.sharding import (
     FlowPartitionedProcessor,
     SubscriptionPartitionedProcessor,
 )
-from ..diff.changes import classify_changes
-from ..errors import ReportingError, ReproError
+from ..errors import PipelineError, ReportingError
 from ..minisql import Database
 from ..observability.metrics import MetricsRegistry, split_key
 from ..observability.names import (
     COUNTER_DOCUMENTS_FED,
     COUNTER_DOCUMENTS_REJECTED,
     COUNTER_NOTIFICATIONS_EMITTED,
+    GAUGE_EXECUTOR_QUEUE_DEPTH,
     GAUGE_SUBSCRIPTIONS,
+    HISTOGRAM_BATCH_SIZE,
+    STAGE_EXECUTOR_RUN_BATCH,
+    stage_latency_name,
 )
 from ..observability.tracing import LATENCY_SUFFIX
 from ..query.engine import QueryEngine
 from ..reporting.email_sink import EmailSink, WebPublisher
 from ..reporting.reporter import Reporter
 from ..repository.semantics import SemanticClassifier
-from ..repository.store import FetchOutcome, Repository
+from ..repository.store import Repository
 from ..subscription.compiler import SubscriptionCompiler
 from ..subscription.cost import CostController
 from ..subscription.manager import SubscriptionManager
 from ..triggers.answers import QueryAnswerStore
 from ..triggers.engine import TriggerEngine
 from ..xmlstore.nodes import Document
-from .stream import Fetch
+from .executor import (
+    BATCH_SIZE_BUCKETS,
+    BatchExecutor,
+    DEFAULT_BATCH_SIZE,
+    make_executor,
+)
+from .stages import FeedResult, LIFECYCLE, PipelineTask
+from .stream import Fetch, HTML_PAGE, XML_PAGE, chunked
 
-
-@dataclass
-class FeedResult:
-    """What one fetched page produced inside the system."""
-
-    outcome: FetchOutcome
-    alert: Optional[Alert]
-    notifications: List[Notification]
+__all__ = ["FeedResult", "SubscriptionSystem"]
 
 
 class SubscriptionSystem:
@@ -81,6 +89,8 @@ class SubscriptionSystem:
         shards: int = 1,
         shard_mode: str = "flow",
         metrics: Optional[MetricsRegistry] = None,
+        executor: Union[str, BatchExecutor, None] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         """``shards`` > 1 distributes the MQP (Section 4.2): ``shard_mode``
         is "flow" (documents partitioned; every shard holds all
@@ -92,6 +102,11 @@ class SubscriptionSystem:
         latencies are deterministic under a :class:`SimulatedClock`).  Pass
         :data:`~repro.observability.NULL_REGISTRY` to disable
         instrumentation entirely.
+
+        ``executor`` selects the batch executor used by :meth:`feed_batch`
+        and :meth:`run_stream` — a name ("serial", "threaded", "sharded"),
+        an instance, or ``None`` for ``$REPRO_EXECUTOR`` / serial;
+        ``batch_size`` is the default stream chunking.
         """
         self.clock = clock if clock is not None else SimulatedClock()
         self.metrics = (
@@ -170,6 +185,16 @@ class SubscriptionSystem:
             COUNTER_NOTIFICATIONS_EMITTED
         )
         self._subscriptions_gauge = self.metrics.gauge(GAUGE_SUBSCRIPTIONS)
+        if batch_size < 1:
+            raise PipelineError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = int(batch_size)
+        self.executor = make_executor(executor)
+        # Batch metrics are interned on the first feed_batch call so a
+        # system fed only through the single-document path keeps a snapshot
+        # free of executor series.
+        self._queue_gauge = None
+        self._batch_size_histogram = None
+        self._run_batch_latency = None
 
     # -- subscription API -----------------------------------------------------------
 
@@ -198,77 +223,109 @@ class SubscriptionSystem:
 
     def feed_xml(self, url: str, content: str) -> FeedResult:
         """One XML page fetched by the (simulated) crawler."""
-        outcome = self.repository.store_xml(url, content)
-        changes = None
-        if outcome.delta is not None and outcome.old_document is not None:
-            assert outcome.document is not None
-            changes = classify_changes(
-                outcome.old_document, outcome.document, outcome.delta
-            )
-        fetched = FetchedDocument(
-            url=url,
-            meta=outcome.meta,
-            status=outcome.status,
-            document=outcome.document,
-            changes=changes,
-        )
-        return self._process(outcome, fetched)
+        return self._feed_one(Fetch(url=url, content=content, kind=XML_PAGE))
 
     def feed_html(self, url: str, content: str) -> FeedResult:
         """One HTML page: signature tracking + keyword alerting only."""
-        outcome = self.repository.store_html(url, content)
-        fetched = FetchedDocument(
-            url=url,
-            meta=outcome.meta,
-            status=outcome.status,
-            raw_content=content,
-        )
-        return self._process(outcome, fetched)
+        return self._feed_one(Fetch(url=url, content=content, kind=HTML_PAGE))
 
     def feed(self, fetch: Fetch) -> FeedResult:
-        if fetch.is_xml:
-            return self.feed_xml(fetch.url, fetch.content)
-        return self.feed_html(fetch.url, fetch.content)
+        return self._feed_one(fetch)
 
-    def run_stream(
-        self, stream: Iterable[Fetch], skip_malformed: bool = True
+    def _feed_one(self, fetch: Fetch) -> FeedResult:
+        """Run one document through the stage lifecycle, no executor, no
+        error slot: failures propagate to the caller as they always did."""
+        task = PipelineTask(fetch=fetch)
+        for stage, step in LIFECYCLE:
+            step(self, task)
+            task.stage = stage
+        return task.result()
+
+    def feed_batch(
+        self, fetches: Iterable[Fetch], skip_malformed: bool = True
     ) -> List[FeedResult]:
-        """Feed a whole stream.
+        """Feed one batch of pages through the configured executor.
 
-        Real crawls contain malformed pages and kind-confused URLs; with
-        ``skip_malformed`` (the default) a page the loader rejects — any
-        :class:`ReproError` subclass it raises, not only
-        :class:`XMLSyntaxError` — is counted (``documents_rejected``, plus
-        a ``pipeline.documents_rejected{reason=...}`` metric recording the
-        error class) and skipped rather than aborting the stream.
+        Semantics match sequential :meth:`feed` calls on the same pages:
+        per-document error isolation (with ``skip_malformed`` a rejected
+        page is counted under ``documents_rejected`` /
+        ``pipeline.documents_rejected{reason=...}`` and skipped), identical
+        notifications, reports and counters.  With ``skip_malformed=False``
+        the first rejection is raised and no later page in the batch enters
+        the stateful stages.
+
+        Batch observability: one ``executor.batch_size`` observation, one
+        ``executor.run_batch.latency_seconds{executor=...}`` span, and the
+        ``executor.queue_depth`` gauge holds the in-flight batch size while
+        the executor runs.
         """
+        tasks = [
+            PipelineTask(fetch=fetch, index=index)
+            for index, fetch in enumerate(fetches)
+        ]
+        if not tasks:
+            return []
+        if self._batch_size_histogram is None:
+            self._queue_gauge = self.metrics.gauge(GAUGE_EXECUTOR_QUEUE_DEPTH)
+            self._batch_size_histogram = self.metrics.histogram(
+                HISTOGRAM_BATCH_SIZE,
+                BATCH_SIZE_BUCKETS,
+                executor=self.executor.name,
+            )
+            self._run_batch_latency = self.metrics.histogram(
+                stage_latency_name(STAGE_EXECUTOR_RUN_BATCH),
+                executor=self.executor.name,
+            )
+        self._batch_size_histogram.observe(len(tasks))
+        self._queue_gauge.set(len(tasks))
+        start = self.metrics.now()
+        try:
+            self.executor.run_batch(
+                self, tasks, stop_on_error=not skip_malformed
+            )
+        finally:
+            self._run_batch_latency.observe(self.metrics.now() - start)
+            self._queue_gauge.set(0)
         results: List[FeedResult] = []
-        for fetch in stream:
-            try:
-                results.append(self.feed(fetch))
-            except ReproError as exc:
+        for task in tasks:
+            if task.error is not None:
                 if not skip_malformed:
-                    raise
+                    raise task.error
                 self.documents_rejected += 1
                 self.metrics.counter(
-                    COUNTER_DOCUMENTS_REJECTED, reason=type(exc).__name__
+                    COUNTER_DOCUMENTS_REJECTED,
+                    reason=type(task.error).__name__,
                 ).inc()
+            elif task.done:
+                results.append(task.result())
         return results
 
-    def _process(
-        self, outcome: FetchOutcome, fetched: FetchedDocument
-    ) -> FeedResult:
-        self.documents_fed += 1
-        self._fed_counter.inc()
-        alert = self.alerter_chain.build_alert(fetched)
-        notifications: List[Notification] = []
-        if alert is not None:
-            notifications = self.processor.process_alert(alert)
-            if notifications:
-                self._emitted_counter.inc(len(notifications))
-        return FeedResult(
-            outcome=outcome, alert=alert, notifications=notifications
-        )
+    def run_stream(
+        self,
+        stream: Iterable[Fetch],
+        skip_malformed: bool = True,
+        batch_size: Optional[int] = None,
+    ) -> List[FeedResult]:
+        """Feed a whole stream, batch by batch.
+
+        The stream is chunked into batches of ``batch_size`` (default: the
+        system's ``batch_size``) and each batch runs through the configured
+        executor via :meth:`feed_batch`.  Real crawls contain malformed
+        pages and kind-confused URLs; with ``skip_malformed`` (the default)
+        a page the loader rejects — any :class:`~repro.errors.ReproError`
+        subclass it raises, not only
+        :class:`~repro.errors.XMLSyntaxError` — is counted
+        (``documents_rejected``, plus a
+        ``pipeline.documents_rejected{reason=...}`` metric recording the
+        error class) and skipped rather than aborting the stream.
+        """
+        size = self.batch_size if batch_size is None else int(batch_size)
+        results: List[FeedResult] = []
+        for batch in chunked(stream, size):
+            results.extend(
+                self.feed_batch(batch, skip_malformed=skip_malformed)
+            )
+        return results
 
     # -- observability -------------------------------------------------------------------
 

@@ -89,6 +89,28 @@ class TestSubscriptionPartitioning:
         for shard in processor.shards:
             assert shard.stats.alerts_processed == 1
 
+    def test_empty_shards_skip_alert_inspection(self):
+        processor = SubscriptionPartitionedProcessor(shard_count=4)
+        events = make_events(processor, 2)  # occupies 2 of the 4 shards
+        codes = sorted(
+            {code for event in events for code in event.atomic_codes}
+        )
+        notifications = processor.process_alert(Alert("http://d/", codes))
+        assert {n.complex_code for n in notifications} == {
+            event.code for event in events
+        }
+        per_shard = [s.stats.alerts_processed for s in processor.shards]
+        assert per_shard.count(0) == 2  # empty shards were never consulted
+        assert processor.stats().alerts_processed == 1
+
+    def test_emptied_shard_skipped_after_unregister(self):
+        processor = SubscriptionPartitionedProcessor(shard_count=2)
+        events = make_events(processor, 2)
+        processor.unregister(events[1].code)
+        codes = sorted(events[0].atomic_codes)
+        processor.process_alert(Alert("http://d/", codes))
+        assert [s.stats.alerts_processed for s in processor.shards] == [1, 0]
+
     def test_unregister_from_home_shard(self):
         processor = SubscriptionPartitionedProcessor(shard_count=2)
         events = make_events(processor, 4)

@@ -90,9 +90,17 @@ class TestObservabilityDocument:
             assert f"`{name}`" in doc, f"{name} missing from OBSERVABILITY.md"
 
     def test_every_documented_metric_exists(self):
-        from repro.observability.names import ALL_METRIC_NAMES, STAGE_NAMES
+        from repro.observability.names import (
+            ALL_METRIC_NAMES,
+            EXECUTOR_STAGE_NAMES,
+            STAGE_NAMES,
+        )
 
-        known = set(ALL_METRIC_NAMES) | set(STAGE_NAMES)
+        known = (
+            set(ALL_METRIC_NAMES)
+            | set(STAGE_NAMES)
+            | set(EXECUTOR_STAGE_NAMES)
+        )
         doc = read("docs/OBSERVABILITY.md")
         for token in self.METRIC_TOKEN.findall(doc):
             if token.startswith("repro") or token.endswith(

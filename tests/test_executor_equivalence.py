@@ -1,0 +1,96 @@
+"""Property test: every batch executor is observationally equivalent.
+
+Hypothesis generates random crawl streams — repeated URLs, changing and
+unchanged content, malformed pages, HTML mixed with XML — and asserts that
+the threaded and sharded executors produce exactly the serial executor's
+notification multiset and counters, at every batch size.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import SimulatedClock
+from repro.pipeline import (
+    Fetch,
+    HTML_PAGE,
+    SubscriptionSystem,
+    ThreadedExecutor,
+)
+
+SOURCE = """
+subscription Equiv
+monitoring M
+select <Hit url=URL/>
+from self//Product X
+where URL extends "http://www.shop"
+  and new Product contains "camera"
+report when immediate
+"""
+
+WORDS = ("camera", "tripod", "lens cap", "camera bag")
+
+
+@st.composite
+def fetches(draw):
+    site = draw(st.integers(min_value=0, max_value=3))
+    shape = draw(
+        st.sampled_from(("xml", "xml", "xml", "malformed", "html"))
+    )
+    if shape == "malformed":
+        return Fetch(f"http://www.shop{site}.example/catalog.xml", "<r><boom>")
+    if shape == "html":
+        return Fetch(
+            f"http://www.shop{site}.example/index.html",
+            "<html>camera sale</html>",
+            kind=HTML_PAGE,
+        )
+    word = draw(st.sampled_from(WORDS))
+    version = draw(st.integers(min_value=0, max_value=2))
+    return Fetch(
+        f"http://www.shop{site}.example/catalog.xml",
+        f"<catalog><Product>{word} v{version}</Product></catalog>",
+    )
+
+
+streams = st.lists(fetches(), min_size=0, max_size=24)
+batch_sizes = st.integers(min_value=1, max_value=7)
+
+
+def run(stream, batch_size, **kwargs):
+    system = SubscriptionSystem(clock=SimulatedClock(1_000_000.0), **kwargs)
+    system.subscribe(SOURCE, owner_email="u@x")
+    results = system.run_stream(iter(stream), batch_size=batch_size)
+    snapshot = system.metrics_snapshot()
+    notifications = sorted(
+        (n.complex_code, n.document_url, n.timestamp)
+        for result in results
+        for n in result.notifications
+    )
+    return {
+        "notifications": notifications,
+        "counters": snapshot["counters"],
+        "documents_fed": snapshot["documents_fed"],
+        "documents_rejected": snapshot["documents_rejected"],
+        "rejections": snapshot["rejections"],
+        "notifications_emitted": snapshot["notifications_emitted"],
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream=streams, batch_size=batch_sizes)
+def test_threaded_matches_serial(stream, batch_size):
+    serial = run(stream, batch_size, executor="serial")
+    threaded = run(
+        stream, batch_size, executor=ThreadedExecutor(max_workers=4)
+    )
+    assert threaded == serial
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream=streams, batch_size=batch_sizes)
+def test_sharded_matches_serial(stream, batch_size):
+    serial = run(stream, batch_size, executor="serial", shards=3)
+    sharded = run(stream, batch_size, executor="sharded", shards=3)
+    assert sharded == serial
