@@ -1,0 +1,185 @@
+"""T-fault — cost of the fault-tolerance layer (PR 3).
+
+Two questions, one crawl-driven end-to-end stream each:
+
+* **Zero-fault overhead** — the resilience machinery (fault injector at
+  rate 0, retry policy, circuit breakers, dead-letter queue, metrics)
+  must be near-free when nothing fails: the bar is >= 0.95x the plain
+  PR 2 crawler on the same stream.
+* **Recovery throughput** — with 10% / 20% of fetch attempts failing
+  transiently, every document must still arrive (empty dead-letter
+  queue) and wall-clock throughput records what absorbing the faults
+  costs (retries add scheduling work, never re-parsing: content evolves
+  once per nominal attempt).
+
+Results land in ``BENCH_fault_tolerance.json`` (see ``_bench_utils``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from _bench_utils import QUICK, dump_bench_json, print_series
+from repro.clock import SimulatedClock
+from repro.faults import (
+    CircuitBreaker,
+    DeadLetterQueue,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.pipeline import SubscriptionSystem
+from repro.webworld import ChangeModel, SimulatedCrawler, SiteGenerator
+
+SITES = 8 if QUICK else 16
+DAYS = 4 if QUICK else 8
+FAULT_RATES = (0.1, 0.2)
+SEED = 7
+
+SOURCE = """
+subscription Bench
+monitoring M
+select <Hit url=URL/>
+from self//Product X
+where URL extends "http://www.shop"
+  and new Product contains "camera"
+report when count >= 5
+"""
+
+_results: dict = {}
+
+
+def build_world(resilient: bool, fault_rate: float = 0.0):
+    clock = SimulatedClock(990_000_000.0)
+    system = SubscriptionSystem(clock=clock)
+    kwargs = {}
+    if resilient:
+        dead_letters = DeadLetterQueue(metrics=system.metrics)
+        system.dead_letters = dead_letters
+        kwargs = dict(
+            fault_injector=FaultInjector(
+                FaultPlan.transient_only(fault_rate, seed=SEED),
+                metrics=system.metrics,
+            ),
+            dead_letters=dead_letters,
+            metrics=system.metrics,
+            breaker_factory=lambda: CircuitBreaker(failure_threshold=50),
+        )
+    generator = SiteGenerator(seed=SEED)
+    crawler = SimulatedCrawler(
+        clock=clock,
+        change_model=ChangeModel(seed=SEED + 1),
+        seed=SEED + 2,
+        **kwargs,
+    )
+    for i in range(SITES):
+        crawler.add_xml_page(
+            f"http://www.shop{i}.example/catalog.xml",
+            generator.catalog(products=6),
+            change_probability=0.7,
+        )
+    system.subscribe(SOURCE, owner_email="bench@example.org")
+    return system, crawler
+
+
+def run_world(system, crawler):
+    """Hourly drain (so backoff retries land) plus a half-day tail."""
+    for _ in range(DAYS * 24 + 12):
+        system.run_stream(crawler.due_fetches())
+        system.advance_time(3600)
+
+
+def paired_overhead(pairs: int = 9) -> float:
+    """Resilient-vs-plain throughput ratio at zero faults.
+
+    Runs the two configurations back to back inside each pair and takes
+    the median per-pair ratio, which cancels container load drift that a
+    best-of comparison across separately-timed tests cannot.
+    """
+    ratios = []
+    for _ in range(pairs):
+        times = {}
+        for label, resilient in (("plain", False), ("resilient", True)):
+            system, crawler = build_world(resilient)
+            start = time.perf_counter()
+            run_world(system, crawler)
+            times[label] = time.perf_counter() - start
+        ratios.append(times["plain"] / times["resilient"])
+    return statistics.median(ratios)
+
+
+@pytest.mark.parametrize(
+    "label,resilient,fault_rate",
+    [
+        ("plain", False, 0.0),
+        ("resilient_0", True, 0.0),
+        ("resilient_10", True, 0.1),
+        ("resilient_20", True, 0.2),
+    ],
+)
+def test_fault_tolerance_throughput(benchmark, label, resilient, fault_rate):
+    def run():
+        system, crawler = build_world(resilient, fault_rate)
+        run_world(system, crawler)
+        return system, crawler
+
+    system, crawler = benchmark(run)
+    assert system.documents_fed > 0
+    if resilient:
+        # Transient-only faults under a fixed seed must all be absorbed.
+        assert len(system.dead_letters) == 0
+        assert crawler.dead_lettered == 0
+        if fault_rate > 0:
+            assert crawler.faults_seen > 0
+    # Best round across all of pytest-benchmark's repetitions — far less
+    # noisy than any single hand-timed pass.
+    _results[label] = {
+        "docs_per_second": system.documents_fed / benchmark.stats.stats.min,
+        "documents_fed": system.documents_fed,
+        "faults_seen": crawler.faults_seen,
+        "retries_scheduled": crawler.retries_scheduled,
+    }
+
+
+def test_fault_tolerance_report(benchmark):
+    benchmark(lambda: None)
+    needed = ("plain", "resilient_0", "resilient_10", "resilient_20")
+    missing = [label for label in needed if label not in _results]
+    if missing:
+        pytest.skip(f"points not measured in this run: {missing}")
+    plain = _results["plain"]["docs_per_second"]
+    overhead = paired_overhead()
+    rows = [
+        f"{label:>13}  {entry['docs_per_second']:9,.0f} docs/s"
+        f"  fed={entry['documents_fed']:<4}"
+        f" faults={entry['faults_seen']:<4}"
+        f" retries={entry['retries_scheduled']}"
+        for label, entry in _results.items()
+    ]
+    rows.append(f"zero-fault throughput ratio (paired median): {overhead:.3f}x plain")
+    print_series(
+        "T-fault: fault-tolerance layer cost (end-to-end crawl)",
+        f"{SITES} sites, {DAYS} days drained hourly, best round",
+        rows,
+    )
+    path = dump_bench_json(
+        {
+            "params": {
+                "sites": SITES,
+                "days": DAYS,
+                "fault_rates": list(FAULT_RATES),
+                "seed": SEED,
+            },
+            "series": _results,
+            "zero_fault_throughput_ratio": overhead,
+        },
+        "fault_tolerance",
+    )
+    print(f"results dumped to {path}")
+    # Acceptance: the machinery costs < 5% when nothing fails.
+    assert overhead >= 0.95
+    # ...and a faulty crawl still delivers its documents at a sane rate.
+    assert _results["resilient_20"]["docs_per_second"] >= 0.5 * plain
+    assert _results["resilient_20"]["faults_seen"] > 0

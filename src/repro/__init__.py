@@ -20,7 +20,10 @@ depends on, in pure Python:
   experiment workloads;
 * ``repro.pipeline`` — :class:`SubscriptionSystem`, the assembled system;
 * ``repro.observability`` — metrics registry + stage tracing threaded
-  through every stage above (``system.metrics_snapshot()``).
+  through every stage above (``system.metrics_snapshot()``);
+* ``repro.faults`` — seeded fault injection plus the resilience toolkit
+  (retry with backoff, circuit breakers, dead-letter quarantine) the
+  crawler and pipeline use to survive a hostile web.
 
 Quickstart::
 

@@ -7,9 +7,15 @@ Subcommands::
     repro-monitor demo             run a small end-to-end simulation
     repro-monitor stats            run a simulation, emit the metrics snapshot
     repro-monitor match            micro-benchmark the matching engines
+    repro-monitor chaos            run a fault-injected simulation (CI smoke)
+    repro-monitor dlq              inspect / requeue / purge a dead-letter file
 
 ``demo`` and ``stats`` accept ``--metrics-json PATH`` to dump the
-observability snapshot (``system.metrics_snapshot()``) as JSON.
+observability snapshot (``system.metrics_snapshot()``) as JSON, and
+``--fault-rate`` / ``--fault-seed`` / ``--dlq-json`` to crawl under a
+seeded transient-fault injector (see docs/ROBUSTNESS.md).  ``chaos``
+is the hardened variant: it fails (exit 1) if any document ends up
+quarantined or any exception escapes the pipeline.
 
 Also runnable as ``python -m repro ...``.
 """
@@ -67,6 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--days", type=int, default=7)
     demo.add_argument("--seed", type=int, default=7)
     _add_executor_arguments(demo)
+    _add_fault_arguments(demo)
     demo.add_argument(
         "--metrics-json",
         metavar="PATH",
@@ -91,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="flow",
     )
     _add_executor_arguments(stats)
+    _add_fault_arguments(stats)
     stats.add_argument(
         "--metrics-json",
         metavar="PATH",
@@ -98,6 +106,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the snapshot to PATH instead of stdout",
     )
     stats.set_defaults(handler=_cmd_stats)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="fault-injected simulation that fails on any lost document",
+    )
+    chaos.add_argument("--sites", type=int, default=20)
+    chaos.add_argument("--days", type=int, default=14)
+    chaos.add_argument("--seed", type=int, default=7)
+    _add_executor_arguments(chaos)
+    chaos.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.2,
+        help="total transient-fault probability per fetch (default: 0.2)",
+    )
+    chaos.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault injector's own RNG",
+    )
+    chaos.add_argument(
+        "--dlq-json",
+        metavar="PATH",
+        default=None,
+        help="dump any quarantined documents to PATH for post-mortem",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
+
+    dlq = commands.add_parser(
+        "dlq", help="inspect or replay a dead-letter queue JSON file"
+    )
+    dlq.add_argument(
+        "action",
+        choices=["list", "requeue", "purge"],
+        help="list entries, replay them through a fresh pipeline,"
+        " or discard them",
+    )
+    dlq.add_argument("file", help="dead-letter JSON written with --dlq-json")
+    dlq.set_defaults(handler=_cmd_dlq)
 
     match = commands.add_parser(
         "match", help="micro-benchmark a matching engine"
@@ -135,6 +181,28 @@ def _add_executor_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject seeded transient fetch faults at this total rate"
+        " (default: 0, no injection)",
+    )
+    subparser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault injector's own RNG",
+    )
+    subparser.add_argument(
+        "--dlq-json",
+        metavar="PATH",
+        default=None,
+        help="dump the dead-letter queue to PATH after the run",
+    )
+
+
 # -- commands -------------------------------------------------------------------
 
 
@@ -168,9 +236,19 @@ def _cmd_fmt(args: argparse.Namespace) -> int:
 def _run_simulation(
     sites: int, days: int, seed: int, shards: int = 1,
     shard_mode: str = "flow", executor: Optional[str] = None,
-    batch_size: Optional[int] = None,
+    batch_size: Optional[int] = None, fault_rate: float = 0.0,
+    fault_seed: int = 0,
 ):
-    """The shared demo/stats scenario: crawl ``sites`` for ``days``."""
+    """The shared demo/stats/chaos scenario: crawl ``sites`` for ``days``.
+
+    With ``fault_rate`` > 0 the crawl runs under a seeded transient-only
+    :class:`~repro.faults.FaultInjector` with a shared dead-letter queue,
+    and the stream is drained hourly (instead of daily) so backoff
+    retries land before each page's next nominal fetch.  Returns
+    ``(system, crawler)``; the dead-letter queue (or ``None``) hangs off
+    ``system.dead_letters``.
+    """
+    from .faults import DeadLetterQueue, FaultInjector, FaultPlan
     from .pipeline import DEFAULT_BATCH_SIZE, SubscriptionSystem
     from .webworld import ChangeModel, SimulatedCrawler, SiteGenerator
 
@@ -180,10 +258,22 @@ def _run_simulation(
         executor=executor,
         batch_size=DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
     )
+    injector = None
+    dead_letters = None
+    metrics = None
+    if fault_rate > 0.0:
+        metrics = system.metrics
+        dead_letters = DeadLetterQueue(metrics=metrics)
+        system.dead_letters = dead_letters
+        injector = FaultInjector(
+            FaultPlan.transient_only(fault_rate, seed=fault_seed),
+            metrics=metrics,
+        )
     generator = SiteGenerator(seed=seed)
     crawler = SimulatedCrawler(
         clock=clock, change_model=ChangeModel(seed=seed + 1),
-        seed=seed + 2,
+        seed=seed + 2, fault_injector=injector,
+        dead_letters=dead_letters, metrics=metrics,
     )
     for i in range(sites):
         crawler.add_xml_page(
@@ -203,10 +293,16 @@ def _run_simulation(
         """,
         owner_email="demo@example.org",
     )
-    for _ in range(days):
-        system.run_stream(crawler.due_fetches())
-        system.advance_days(1)
-    return system
+    if fault_rate > 0.0:
+        hours = days * 24 + 12  # half-day drain so in-flight retries land
+        for _ in range(hours):
+            system.run_stream(crawler.due_fetches())
+            system.advance_time(3600)
+    else:
+        for _ in range(days):
+            system.run_stream(crawler.due_fetches())
+            system.advance_days(1)
+    return system, crawler
 
 
 def _write_metrics_json(system, path: Optional[str]) -> None:
@@ -217,10 +313,25 @@ def _write_metrics_json(system, path: Optional[str]) -> None:
         handle.write("\n")
 
 
+def _write_dlq_json(system, path: Optional[str]) -> None:
+    if path is None or system.dead_letters is None:
+        return
+    system.dead_letters.save(path)
+
+
+def _print_fault_summary(system, crawler) -> None:
+    print(f"  faults injected: {crawler.faults_seen}")
+    print(f"  retries        : {crawler.retries_scheduled}")
+    print(f"  quarantined    : {crawler.dead_lettered}")
+    if system.dead_letters is not None:
+        print(f"  dlq depth      : {len(system.dead_letters)}")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
-    system = _run_simulation(
+    system, crawler = _run_simulation(
         args.sites, args.days, args.seed,
         executor=args.executor, batch_size=args.batch_size,
+        fault_rate=args.fault_rate, fault_seed=args.fault_seed,
     )
     stats = system.processor.stats
     print(f"{args.sites} sites crawled over {args.days} simulated days")
@@ -229,18 +340,23 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"  notifications  : {stats.notifications_sent}")
     print(f"  reports        : {system.reporter.stats.reports_generated}")
     print(f"  emails         : {system.email_sink.total_sent}")
+    if args.fault_rate > 0:
+        _print_fault_summary(system, crawler)
     _write_metrics_json(system, args.metrics_json)
+    _write_dlq_json(system, args.dlq_json)
     if args.metrics_json:
         print(f"  metrics        : {args.metrics_json}")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    system = _run_simulation(
+    system, _crawler = _run_simulation(
         args.sites, args.days, args.seed,
         shards=args.shards, shard_mode=args.shard_mode,
         executor=args.executor, batch_size=args.batch_size,
+        fault_rate=args.fault_rate, fault_seed=args.fault_seed,
     )
+    _write_dlq_json(system, args.dlq_json)
     if args.metrics_json:
         _write_metrics_json(system, args.metrics_json)
         print(f"metrics snapshot written to {args.metrics_json}")
@@ -249,6 +365,93 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             system.metrics_snapshot(), sys.stdout, indent=2, sort_keys=True
         )
         sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos smoke: any escaped exception or lost document fails.
+
+    The CI job runs this with a 20% transient-fault rate; success means
+    every injected failure was absorbed by retries (empty dead-letter
+    queue, exit 0).
+    """
+    import traceback
+
+    if args.fault_rate <= 0:
+        print("error: chaos requires --fault-rate > 0", file=sys.stderr)
+        return 2
+    try:
+        system, crawler = _run_simulation(
+            args.sites, args.days, args.seed,
+            executor=args.executor, batch_size=args.batch_size,
+            fault_rate=args.fault_rate, fault_seed=args.fault_seed,
+        )
+    except Exception:
+        traceback.print_exc()
+        print("chaos: FAILED (exception escaped the pipeline)")
+        return 1
+    stats = system.processor.stats
+    print(
+        f"chaos: {args.sites} sites, {args.days} days,"
+        f" fault rate {args.fault_rate:.0%}"
+    )
+    print(f"  documents fed  : {system.documents_fed}")
+    print(f"  notifications  : {stats.notifications_sent}")
+    _print_fault_summary(system, crawler)
+    breakers = crawler.open_breaker_urls()
+    if breakers:
+        print(f"  open breakers  : {len(breakers)}")
+    _write_dlq_json(system, args.dlq_json)
+    depth = len(system.dead_letters) if system.dead_letters else 0
+    if depth or system.documents_rejected:
+        print(
+            f"chaos: FAILED ({depth} quarantined,"
+            f" {system.documents_rejected} rejected)"
+        )
+        return 1
+    print("chaos: OK (all injected faults absorbed)")
+    return 0
+
+
+def _cmd_dlq(args: argparse.Namespace) -> int:
+    """Operate on a dead-letter JSON file written via ``--dlq-json``."""
+    from .faults import DeadLetterQueue
+    from .pipeline import SubscriptionSystem
+
+    queue = DeadLetterQueue.load(args.file)
+    if args.action == "list":
+        print(
+            f"{len(queue)} entries"
+            f" (capacity {queue.capacity}, {queue.dropped} dropped)"
+        )
+        for entry in queue:
+            print(
+                f"  {entry.url} [{entry.kind}] {entry.error_class}"
+                f" after {entry.attempts} attempts"
+                f" via {entry.source}: {entry.error}"
+            )
+        return 0
+    if args.action == "purge":
+        count = queue.purge()
+        queue.save(args.file)
+        print(f"purged {count} entries from {args.file}")
+        return 0
+    # requeue: replay every entry through a fresh pipeline; documents the
+    # loader accepts leave the file, documents it still rejects stay.
+    system = SubscriptionSystem(dead_letters=DeadLetterQueue())
+    recovered = 0
+    for entry in queue.drain():
+        before = len(system.dead_letters)
+        system.feed_batch([entry.to_fetch()], skip_malformed=True)
+        if len(system.dead_letters) == before:
+            recovered += 1
+    for entry in system.dead_letters.entries():
+        queue.push(entry)
+    queue.save(args.file)
+    print(
+        f"requeued: {recovered} recovered,"
+        f" {len(queue)} still quarantined in {args.file}"
+    )
     return 0
 
 

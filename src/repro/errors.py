@@ -113,4 +113,78 @@ class TriggerError(ReproError):
 
 class PipelineError(ReproError):
     """Raised by the staged ingestion pipeline for configuration mistakes
-    (unknown executor name, non-positive batch size)."""
+    (unknown executor name, non-positive batch size, bad fault plans) and
+    for violated crawler invariants (a page table entry with no content)."""
+
+
+class FetchError(ReproError):
+    """Base class for failed page fetches (``repro.faults``).
+
+    Crawling "millions of pages per day" (Section 2.2) makes timeouts,
+    resets, server errors and corrupt payloads routine; the fault
+    taxonomy classifies them so resilience policies can react per class.
+
+    ``transient`` marks failures a retry may cure (the retry policy
+    reschedules them at the backoff interval); permanent failures go
+    straight to the dead-letter queue.  ``kind`` is the canonical label
+    used by the ``faults.injected{kind=...}`` metric.
+    """
+
+    transient = True
+    kind = "fetch"
+
+    def __init__(self, message: str, url: str = ""):
+        super().__init__(message)
+        self.url = url
+
+
+class FetchTimeout(FetchError):
+    """The fetch exceeded its deadline; the page may well be fine."""
+
+    kind = "timeout"
+
+
+class FetchConnectionReset(FetchError):
+    """The connection dropped mid-exchange (peer reset, broken pipe)."""
+
+    kind = "reset"
+
+
+class FetchServerError(FetchError):
+    """The server answered with a 5xx status.
+
+    Carries the ``status`` code; 5xx responses are overload or deploy
+    blips far more often than permanent death, so they are transient.
+    """
+
+    kind = "http_5xx"
+
+    def __init__(self, message: str, url: str = "", status: int = 503):
+        super().__init__(message, url=url)
+        self.status = status
+
+
+class TruncatedFetch(FetchError):
+    """The payload stopped short of its declared length (connection died
+    mid-body); ``payload`` holds the partial content when known."""
+
+    kind = "truncated"
+
+    def __init__(self, message: str, url: str = "", payload: str = ""):
+        super().__init__(message, url=url)
+        self.payload = payload
+
+
+class GarbageFetch(FetchError):
+    """The payload arrived complete but corrupt (undecodable bytes).
+
+    Refetching a server that serves garbage returns the same garbage, so
+    this class is *not* transient: it is quarantined, not retried.
+    """
+
+    transient = False
+    kind = "garbage"
+
+    def __init__(self, message: str, url: str = "", payload: str = ""):
+        super().__init__(message, url=url)
+        self.payload = payload

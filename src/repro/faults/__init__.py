@@ -1,0 +1,47 @@
+"""Fault tolerance: injection, retry/backoff, breakers, dead letters.
+
+The paper's regime — "millions of pages per day" (Section 2.2) — makes
+fetch failure handling a core monitor concern, not an afterthought.
+This subsystem supplies both halves of that story:
+
+* **injection** (:class:`FaultPlan` / :class:`FaultInjector`) — seeded,
+  deterministic failures (timeout, reset, HTTP 5xx, truncated payload,
+  garbage bytes) surfaced as the :class:`~repro.errors.FetchError`
+  taxonomy, so resilience can be *tested* rather than hoped for;
+* **resilience** (:class:`RetryPolicy`, :class:`CircuitBreaker`,
+  :class:`DeadLetterQueue`) — the policies the crawler and pipeline use
+  to survive those failures: exponential backoff with deterministic
+  jitter, per-URL closed/open/half-open breakers that stop dead hosts
+  from consuming fetch budget, and a bounded quarantine for poison
+  documents.
+
+Everything emits canonical metrics (``faults.injected{kind}``,
+``retry.attempts``, ``breaker.state_changes{to}``, ``dlq.depth``,
+``dlq.quarantined{source}``) through the shared
+:class:`~repro.observability.MetricsRegistry`; see docs/ROBUSTNESS.md.
+"""
+
+from .dlq import (
+    DeadLetterEntry,
+    DeadLetterQueue,
+    SOURCE_CRAWL,
+    SOURCE_PIPELINE,
+)
+from .injector import FAULT_KINDS, FaultInjector, FaultPlan, TRANSIENT_KINDS
+from .retry import CLOSED, CircuitBreaker, HALF_OPEN, OPEN, RetryPolicy
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "DeadLetterEntry",
+    "DeadLetterQueue",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "HALF_OPEN",
+    "OPEN",
+    "RetryPolicy",
+    "SOURCE_CRAWL",
+    "SOURCE_PIPELINE",
+    "TRANSIENT_KINDS",
+]

@@ -55,6 +55,15 @@ COUNTER_DOCUMENTS_FED = "pipeline.documents_fed"
 COUNTER_DOCUMENTS_REJECTED = "pipeline.documents_rejected"  # label: reason
 COUNTER_NOTIFICATIONS_EMITTED = "pipeline.notifications_emitted"
 
+# Fault-tolerance counters (``repro.faults`` + resilient crawling): they
+# appear only when a fault injector / retry policy / breaker actually
+# fires, so zero-fault snapshots stay free of them.
+COUNTER_FAULTS_INJECTED = "faults.injected"  # label: kind
+COUNTER_RETRY_ATTEMPTS = "retry.attempts"
+COUNTER_BREAKER_STATE_CHANGES = "breaker.state_changes"  # label: to
+COUNTER_EXECUTOR_FALLBACKS = "executor.fallbacks"  # label: executor
+COUNTER_DLQ_QUARANTINED = "dlq.quarantined"  # label: source
+
 COUNTER_NAMES: Tuple[str, ...] = (
     COUNTER_REPOSITORY_OUTCOMES,
     COUNTER_ALERTS_BUILT,
@@ -65,16 +74,23 @@ COUNTER_NAMES: Tuple[str, ...] = (
     COUNTER_DOCUMENTS_FED,
     COUNTER_DOCUMENTS_REJECTED,
     COUNTER_NOTIFICATIONS_EMITTED,
+    COUNTER_FAULTS_INJECTED,
+    COUNTER_RETRY_ATTEMPTS,
+    COUNTER_BREAKER_STATE_CHANGES,
+    COUNTER_EXECUTOR_FALLBACKS,
+    COUNTER_DLQ_QUARANTINED,
 )
 
 # -- gauges ------------------------------------------------------------------
 
 GAUGE_SUBSCRIPTIONS = "pipeline.subscriptions"
 GAUGE_EXECUTOR_QUEUE_DEPTH = "executor.queue_depth"
+GAUGE_DLQ_DEPTH = "dlq.depth"
 
 GAUGE_NAMES: Tuple[str, ...] = (
     GAUGE_SUBSCRIPTIONS,
     GAUGE_EXECUTOR_QUEUE_DEPTH,
+    GAUGE_DLQ_DEPTH,
 )
 
 # -- free-standing histograms (not latency-suffixed stage histograms) --------

@@ -45,7 +45,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..core.sharding import FlowPartitionedProcessor
 from ..errors import PipelineError
 from ..observability.metrics import MetricsRegistry
-from ..observability.names import STAGE_EXECUTOR_STAGE, stage_latency_name
+from ..observability.names import (
+    COUNTER_EXECUTOR_FALLBACKS,
+    STAGE_EXECUTOR_STAGE,
+    stage_latency_name,
+)
 from .stages import (
     LIFECYCLE,
     PipelineTask,
@@ -138,6 +142,18 @@ class BatchExecutor:
     def close(self) -> None:
         """Release worker resources (idempotent; executors without any
         are free to inherit this no-op)."""
+
+    def _count_fallback(self, system: Any) -> None:
+        """Record one degraded-mode fallback to the serial path.
+
+        A worker-infrastructure exception (a broken pool, a crashed
+        shard sweep) must degrade the batch to the serial path, not
+        abort the stream; every such event is counted under
+        ``executor.fallbacks{executor=<name>}``.
+        """
+        system.metrics.counter(
+            COUNTER_EXECUTOR_FALLBACKS, executor=self.name
+        ).inc()
 
 
 class SerialExecutor(BatchExecutor):
@@ -241,6 +257,26 @@ class ThreadedExecutor(BatchExecutor):
         for future in futures:
             future.result()
 
+    def _guarded_sweep(
+        self,
+        system: Any,
+        step: Callable[[PipelineTask], Any],
+        items: List[PipelineTask],
+    ) -> None:
+        """A pool sweep that degrades to the serial path instead of
+        aborting the stream.
+
+        The per-task steps park their own failures (error-slot contract)
+        and are idempotent — ``parse_stage`` skips tasks already parsed,
+        ``detect_stage`` recomputes a pure result — so rerunning the
+        whole slice serially after a partial sweep is safe.
+        """
+        try:
+            self._sweep(step, items)
+        except Exception:
+            self._count_fallback(system)
+            self._run_slice(step, items)
+
     # -- the batch --------------------------------------------------------
 
     def run_batch(
@@ -252,7 +288,8 @@ class ThreadedExecutor(BatchExecutor):
         timer = _StageTimer(system.metrics, self.name)
 
         start = timer.start()
-        self._sweep(
+        self._guarded_sweep(
+            system,
             parse_stage,
             [t for t in tasks if t.fetch.is_xml and t.document is None],
         )
@@ -273,7 +310,8 @@ class ThreadedExecutor(BatchExecutor):
         live = tasks[:reached]
 
         start = timer.start()
-        self._sweep(
+        self._guarded_sweep(
+            system,
             partial(detect_stage, system),
             [t for t in live if t.error is None],
         )
@@ -346,13 +384,25 @@ class ShardFanoutExecutor(BatchExecutor):
             and processor.shard_count > 1
             and len(matchable) > 1
         ):
-            batches = processor.match_alert_batch(
-                [task.alert for task in matchable]
-            )
-            for task, notifications in zip(matchable, batches):
-                processor.dispatch(notifications)
-                task.notifications = notifications
-                task.stage = STAGE_MATCH
+            # A worker exception inside the concurrent shard sweep
+            # degrades this batch to the serial match loop (nothing has
+            # been dispatched yet — match_alert_batch computes every
+            # shard's notifications before any sink fires).
+            try:
+                batches = processor.match_alert_batch(
+                    [task.alert for task in matchable]
+                )
+            except Exception:
+                self._count_fallback(system)
+                batches = None
+            if batches is None:
+                for task in matchable:
+                    run_stage(STAGE_MATCH, match_stage, system, task)
+            else:
+                for task, notifications in zip(matchable, batches):
+                    processor.dispatch(notifications)
+                    task.notifications = notifications
+                    task.stage = STAGE_MATCH
         else:
             for task in matchable:
                 run_stage(STAGE_MATCH, match_stage, system, task)

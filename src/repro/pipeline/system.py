@@ -35,6 +35,7 @@ from ..core.sharding import (
     SubscriptionPartitionedProcessor,
 )
 from ..errors import PipelineError, ReportingError
+from ..faults.dlq import DeadLetterEntry, DeadLetterQueue, SOURCE_PIPELINE
 from ..minisql import Database
 from ..observability.metrics import MetricsRegistry, split_key
 from ..observability.names import (
@@ -91,6 +92,7 @@ class SubscriptionSystem:
         metrics: Optional[MetricsRegistry] = None,
         executor: Union[str, BatchExecutor, None] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        dead_letters: Optional[DeadLetterQueue] = None,
     ):
         """``shards`` > 1 distributes the MQP (Section 4.2): ``shard_mode``
         is "flow" (documents partitioned; every shard holds all
@@ -107,6 +109,12 @@ class SubscriptionSystem:
         and :meth:`run_stream` — a name ("serial", "threaded", "sharded"),
         an instance, or ``None`` for ``$REPRO_EXECUTOR`` / serial;
         ``batch_size`` is the default stream chunking.
+
+        ``dead_letters`` quarantines pages the loader rejects instead of
+        silently dropping them: each rejected fetch becomes a
+        :class:`~repro.faults.DeadLetterEntry` (source ``"pipeline"``)
+        that :meth:`requeue_dead_letters` can replay later.  ``None``
+        keeps the pre-existing drop-and-count behaviour.
         """
         self.clock = clock if clock is not None else SimulatedClock()
         self.metrics = (
@@ -189,6 +197,7 @@ class SubscriptionSystem:
             raise PipelineError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = int(batch_size)
         self.executor = make_executor(executor)
+        self.dead_letters = dead_letters
         # Batch metrics are interned on the first feed_batch call so a
         # system fed only through the single-document path keeps a snapshot
         # free of executor series.
@@ -296,6 +305,18 @@ class SubscriptionSystem:
                     COUNTER_DOCUMENTS_REJECTED,
                     reason=type(task.error).__name__,
                 ).inc()
+                if self.dead_letters is not None:
+                    self.dead_letters.push(
+                        DeadLetterEntry(
+                            url=task.fetch.url,
+                            content=task.fetch.content,
+                            kind=task.fetch.kind,
+                            error=str(task.error),
+                            error_class=type(task.error).__name__,
+                            source=SOURCE_PIPELINE,
+                            quarantined_at=self.clock.now(),
+                        )
+                    )
             elif task.done:
                 results.append(task.result())
         return results
@@ -326,6 +347,29 @@ class SubscriptionSystem:
                 self.feed_batch(batch, skip_malformed=skip_malformed)
             )
         return results
+
+    def requeue_dead_letters(self) -> Tuple[int, int]:
+        """Replay every quarantined document through the pipeline.
+
+        Drains :attr:`dead_letters` and re-feeds each entry via
+        :meth:`feed_batch`.  A document rejected again goes straight back
+        into quarantine (``feed_batch`` pushes it), so the operation is
+        safe to repeat.  Returns ``(recovered, requarantined)``.
+        """
+        if self.dead_letters is None:
+            raise PipelineError(
+                "this system has no dead-letter queue; pass dead_letters= "
+                "to SubscriptionSystem to enable quarantine"
+            )
+        entries = self.dead_letters.drain()
+        if not entries:
+            return (0, 0)
+        rejected_before = self.documents_rejected
+        results = self.feed_batch(
+            [entry.to_fetch() for entry in entries], skip_malformed=True
+        )
+        requarantined = self.documents_rejected - rejected_before
+        return (len(results), requarantined)
 
     # -- observability -------------------------------------------------------------------
 

@@ -7,17 +7,45 @@ change rate or subscriptions involving this particular document"
 intervals derived from importance and subscription refresh hints, evolves
 page content through a :class:`ChangeModel`, and emits :class:`Fetch`
 items in due-time order.
+
+Fault tolerance (``repro.faults``): wiring a
+:class:`~repro.faults.FaultInjector` makes fetch attempts fail with the
+:class:`~repro.errors.FetchError` taxonomy, and the crawler then behaves
+like a production fetcher:
+
+* a transient failure reschedules the URL at the
+  :class:`~repro.faults.RetryPolicy` backoff interval instead of the
+  nominal refresh interval (``retry.attempts``);
+* per-URL :class:`~repro.faults.CircuitBreaker`\\ s open after repeated
+  consecutive failures, so dead hosts stop consuming fetch budget until
+  a half-open probe succeeds (``breaker.state_changes{to=...}``);
+* a fetch whose retries are exhausted — or that failed permanently — is
+  quarantined into the :class:`~repro.faults.DeadLetterQueue`.
+
+Determinism contract: page content evolves exactly once per *nominal*
+attempt (retries re-serve the already-evolved content), and the injector
+draws from its own RNG, so a faulty run consumes the crawler's
+content-evolution RNG in exactly the same order as a fault-free run —
+once every retry lands, both runs have produced the same fetch contents.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..clock import Clock, SECONDS_PER_DAY, SimulatedClock
+from ..errors import FetchError, PipelineError
+from ..faults.dlq import DeadLetterEntry, DeadLetterQueue, SOURCE_CRAWL
+from ..faults.injector import FaultInjector
+from ..faults.retry import CLOSED, CircuitBreaker, RetryPolicy
+from ..observability.metrics import MetricsRegistry, NULL_REGISTRY
+from ..observability.names import (
+    COUNTER_BREAKER_STATE_CHANGES,
+    COUNTER_RETRY_ATTEMPTS,
+)
 from ..pipeline.stream import Fetch, HTML_PAGE, XML_PAGE
 from ..xmlstore.nodes import Document
 from ..xmlstore.serializer import serialize
@@ -38,8 +66,23 @@ class CrawledPage:
     fetch_count: int = 0
 
 
+@dataclass
+class _RetryState:
+    """A failed fetch awaiting its next retry attempt."""
+
+    fetch: Fetch
+    due: float       # the nominal due time the failed attempt served
+    attempt: int     # attempts made so far (>= 1)
+
+
 class SimulatedCrawler:
-    """Priority-queue crawler over a mutable page table."""
+    """Priority-queue crawler over a mutable page table.
+
+    ``fault_injector`` / ``retry_policy`` / ``breaker_factory`` /
+    ``dead_letters`` opt the crawler into the resilient fetch path (see
+    the module docstring); without an injector the behaviour — and the
+    RNG stream — is byte-for-byte the fault-free crawler.
+    """
 
     def __init__(
         self,
@@ -47,6 +90,13 @@ class SimulatedCrawler:
         change_model: Optional[ChangeModel] = None,
         seed: int = 0,
         base_interval: float = SECONDS_PER_DAY,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = (
+            CircuitBreaker
+        ),
+        dead_letters: Optional[DeadLetterQueue] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.clock = clock if clock is not None else SimulatedClock()
         self.change_model = (
@@ -54,10 +104,21 @@ class SimulatedCrawler:
         )
         self.rng = random.Random(seed)
         self.base_interval = base_interval
+        self.fault_injector = fault_injector
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.breaker_factory = breaker_factory
+        self.dead_letters = dead_letters
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._pages: Dict[str, CrawledPage] = {}
-        self._queue: List = []  # (next_fetch, sequence, url)
-        self._sequence = itertools.count()
+        self._queue: List = []  # (next_fetch, url)
+        self._retry_states: Dict[str, _RetryState] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self.fetches_emitted = 0
+        self.faults_seen = 0
+        self.retries_scheduled = 0
+        self.dead_lettered = 0
 
     # -- page table ------------------------------------------------------------
 
@@ -135,48 +196,233 @@ class SimulatedCrawler:
     def remove_page(self, url: str) -> None:
         """Forget a page; queued fetch entries for it are skipped."""
         self._pages.pop(url, None)
+        self._retry_states.pop(url, None)
+        self._breakers.pop(url, None)
 
     def __len__(self) -> int:
         return len(self._pages)
 
+    # -- breakers ----------------------------------------------------------------
+
+    def breaker(self, url: str) -> Optional[CircuitBreaker]:
+        """The circuit breaker for ``url``, if failures created one."""
+        return self._breakers.get(url)
+
+    def open_breaker_urls(self) -> List[str]:
+        """URLs whose circuit is currently not closed (dead hosts).
+
+        Feed this into
+        :meth:`~repro.webworld.refresh.RefreshPlanner.apply_breaker_state`
+        so the refresh planner stops budgeting fetches for them.
+        """
+        return sorted(
+            url
+            for url, breaker in self._breakers.items()
+            if breaker.state != CLOSED
+        )
+
+    def _breaker_for(self, url: str) -> Optional[CircuitBreaker]:
+        if self.breaker_factory is None:
+            return None
+        breaker = self._breakers.get(url)
+        if breaker is None:
+            breaker = self._breakers[url] = self.breaker_factory()
+            previous = breaker.on_state_change
+
+            def record(old: str, new: str) -> None:
+                self.metrics.counter(
+                    COUNTER_BREAKER_STATE_CHANGES, to=new
+                ).inc()
+                if previous is not None:
+                    previous(old, new)
+
+            breaker.on_state_change = record
+        return breaker
+
     # -- fetching ----------------------------------------------------------------
 
     def _push(self, page: CrawledPage) -> None:
-        heapq.heappush(
-            self._queue, (page.next_fetch, next(self._sequence), page.url)
-        )
+        # Ties broken by URL, never by insertion order: pop order must be
+        # a pure function of (due time, url) so that retry scheduling —
+        # which perturbs insertion order but not due times — cannot change
+        # the order simultaneous nominal fetches consume the shared
+        # content-evolution RNG (the determinism contract above).
+        heapq.heappush(self._queue, (page.next_fetch, page.url))
+
+    def _reschedule(self, page: CrawledPage, due: float) -> None:
+        """Schedule the next nominal fetch from the *due* time, not now.
+
+        Rescheduling from ``now`` would let a slow consumer permanently
+        stretch every page's effective refresh period; anchoring on the
+        due time keeps each page on its nominal cadence.  If the consumer
+        fell more than a full interval behind, missed slots are skipped
+        (no catch-up burst) while the phase of the cadence is preserved.
+        """
+        interval = page.refresh_interval
+        next_time = due + interval
+        now = self.clock.now()
+        if next_time <= now:
+            missed = int((now - due) // interval)
+            next_time = due + (missed + 1) * interval
+            if next_time <= now:
+                next_time += interval
+        page.next_fetch = next_time
+        self._push(page)
 
     def due_fetches(self) -> Iterator[Fetch]:
         """Yield fetches whose due time has passed (in due order).
 
         Page content evolves at fetch time according to the change model
         and each page's change probability, then the page is rescheduled.
+        With a fault injector wired, failed attempts are retried at the
+        backoff interval, gated by per-URL circuit breakers, and
+        quarantined to the dead-letter queue once retries are exhausted —
+        see the module docstring.
         """
         now = self.clock.now()
         while self._queue and self._queue[0][0] <= now:
-            _, _, url = heapq.heappop(self._queue)
+            due, url = heapq.heappop(self._queue)
             page = self._pages.get(url)
             if page is None:
+                self._retry_states.pop(url, None)
                 continue
-            yield self._fetch(page)
-            page.next_fetch = now + page.refresh_interval
+            state = self._retry_states.get(url)
+            if state is not None:
+                fetch = self._attempt_retry(page, state, now)
+            else:
+                fetch = self._attempt_nominal(page, due, now)
+            if fetch is not None:
+                self.fetches_emitted += 1
+                yield fetch
+
+    def _attempt_nominal(
+        self, page: CrawledPage, due: float, now: float
+    ) -> Optional[Fetch]:
+        """One scheduled fetch: evolve content, then roll for a fault."""
+        breaker = self._breakers.get(page.url)
+        if breaker is not None and not breaker.allow(now):
+            # Open circuit: the page waits on the breaker, not on its
+            # refresh interval, and its content does not evolve — a dead
+            # host consumes no fetch budget and no RNG.
+            page.next_fetch = breaker.retry_at(now)
             self._push(page)
+            return None
+        fetch = self._fetch(page)
+        if self.fault_injector is None:
+            self._reschedule(page, due)
+            return fetch
+        fault = self.fault_injector.roll(page.url, fetch.content)
+        if fault is None:
+            if breaker is not None:
+                breaker.record_success(now)
+            self._reschedule(page, due)
+            return fetch
+        self._record_failure(page.url, now)
+        if fault.transient and self.retry_policy.max_attempts > 1:
+            self._schedule_retry(page, fetch, due, attempt=1, now=now)
+        else:
+            self._quarantine(page, fetch, fault, attempts=1, now=now)
+            self._reschedule(page, due)
+        return None
+
+    def _attempt_retry(
+        self, page: CrawledPage, state: _RetryState, now: float
+    ) -> Optional[Fetch]:
+        """Re-attempt a failed fetch; the content was already evolved."""
+        fault = (
+            self.fault_injector.roll(page.url, state.fetch.content)
+            if self.fault_injector is not None
+            else None
+        )
+        if fault is None:
+            breaker = self._breakers.get(page.url)
+            if breaker is not None:
+                breaker.record_success(now)
+            del self._retry_states[page.url]
+            self._reschedule(page, state.due)
+            return state.fetch
+        self._record_failure(page.url, now)
+        state.attempt += 1
+        if fault.transient and state.attempt < self.retry_policy.max_attempts:
+            self._push_retry(page.url, state.attempt, now)
+        else:
+            self._quarantine(
+                page, state.fetch, fault, attempts=state.attempt, now=now
+            )
+            del self._retry_states[page.url]
+            self._reschedule(page, state.due)
+        return None
+
+    def _schedule_retry(
+        self,
+        page: CrawledPage,
+        fetch: Fetch,
+        due: float,
+        attempt: int,
+        now: float,
+    ) -> None:
+        self._retry_states[page.url] = _RetryState(
+            fetch=fetch, due=due, attempt=attempt
+        )
+        self._push_retry(page.url, attempt, now)
+
+    def _push_retry(self, url: str, attempt: int, now: float) -> None:
+        delay = self.retry_policy.backoff(attempt, url)
+        heapq.heappush(self._queue, (now + delay, url))
+        self.retries_scheduled += 1
+        self.metrics.counter(COUNTER_RETRY_ATTEMPTS).inc()
+
+    def _record_failure(self, url: str, now: float) -> None:
+        self.faults_seen += 1
+        breaker = self._breaker_for(url)
+        if breaker is not None:
+            breaker.record_failure(now)
+
+    def _quarantine(
+        self,
+        page: CrawledPage,
+        fetch: Fetch,
+        fault: FetchError,
+        attempts: int,
+        now: float,
+    ) -> None:
+        self.dead_lettered += 1
+        if self.dead_letters is not None:
+            self.dead_letters.push(
+                DeadLetterEntry(
+                    url=page.url,
+                    content=fetch.content,
+                    kind=fetch.kind,
+                    error=str(fault),
+                    error_class=type(fault).__name__,
+                    source=SOURCE_CRAWL,
+                    attempts=attempts,
+                    quarantined_at=now,
+                )
+            )
 
     def _fetch(self, page: CrawledPage) -> Fetch:
+        """Evolve the page once and build its Fetch (the page *content*
+        is what it is regardless of whether our read of it succeeds)."""
         page.fetch_count += 1
-        self.fetches_emitted += 1
         changed = (
             page.fetch_count > 1
             and self.rng.random() < page.change_probability
         )
         if page.kind == XML_PAGE:
-            assert page.document is not None
+            if page.document is None:
+                raise PipelineError(
+                    f"XML page {page.url} has no document in the page table"
+                )
             if changed:
                 page.document = self.change_model.mutate(page.document)
             return Fetch(
                 url=page.url, content=serialize(page.document), kind=XML_PAGE
             )
-        assert page.html is not None
+        if page.html is None:
+            raise PipelineError(
+                f"HTML page {page.url} has no content in the page table"
+            )
         if changed:
             page.html = page.html.replace(
                 "</body>",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..clock import SECONDS_PER_DAY
 
@@ -100,6 +100,8 @@ class PlannedPage:
     importance: float = 1.0
     #: Subscription refresh hint: maximum interval in seconds, or None.
     max_interval: Optional[float] = None
+    #: Suspended pages (open circuit breakers) receive no fetch budget.
+    suspended: bool = False
 
 
 class RefreshPlanner:
@@ -154,6 +156,30 @@ class RefreshPlanner:
             ):
                 page.max_interval = interval
 
+    def suspend_page(self, url: str) -> None:
+        """Exclude a page from the budget (its host's circuit is open)."""
+        page = self._pages.get(url)
+        if page is not None:
+            page.suspended = True
+
+    def resume_page(self, url: str) -> None:
+        page = self._pages.get(url)
+        if page is not None:
+            page.suspended = False
+
+    def apply_breaker_state(self, open_urls: Iterable[str]) -> None:
+        """Sync suspensions with the crawler's circuit breakers.
+
+        Pages in ``open_urls`` (see
+        :meth:`~repro.webworld.crawler.SimulatedCrawler.open_breaker_urls`)
+        are suspended — a dead host must not consume fetch budget — and
+        every other page is resumed, so a recovered host re-enters the
+        plan on the next :meth:`plan_intervals` call.
+        """
+        open_set = set(open_urls)
+        for url, page in self._pages.items():
+            page.suspended = url in open_set
+
     def __len__(self) -> int:
         return len(self._pages)
 
@@ -172,16 +198,19 @@ class RefreshPlanner:
         the budget — subscriptions are commitments, so the overflow is
         taken from the unhinted pages proportionally.
         """
-        if not self._pages:
-            return {}
-        weights = {
-            url: self._weight(page) for url, page in self._pages.items()
+        active = {
+            url: page
+            for url, page in self._pages.items()
+            if not page.suspended
         }
+        if not active:
+            return {}
+        weights = {url: self._weight(page) for url, page in active.items()}
         total_weight = sum(weights.values()) or 1.0
         intervals: Dict[str, float] = {}
         committed_budget = 0.0
         flexible: List[str] = []
-        for url, page in self._pages.items():
+        for url, page in active.items():
             share = weights[url] / total_weight
             interval = SECONDS_PER_DAY / max(
                 share * self.daily_budget, 1e-9

@@ -113,6 +113,53 @@ class TestObservabilityDocument:
         assert "docs/OBSERVABILITY.md" in read("README.md")
 
 
+class TestRobustnessDocument:
+    def test_doc_exists_and_linked_from_readme(self):
+        assert "Fault tolerance" in read("docs/ROBUSTNESS.md")
+        assert "docs/ROBUSTNESS.md" in read("README.md")
+
+    def test_every_fault_metric_documented(self):
+        from repro.observability.names import (
+            COUNTER_BREAKER_STATE_CHANGES,
+            COUNTER_DLQ_QUARANTINED,
+            COUNTER_EXECUTOR_FALLBACKS,
+            COUNTER_FAULTS_INJECTED,
+            COUNTER_RETRY_ATTEMPTS,
+            GAUGE_DLQ_DEPTH,
+        )
+
+        doc = read("docs/ROBUSTNESS.md")
+        for name in (
+            COUNTER_BREAKER_STATE_CHANGES,
+            COUNTER_DLQ_QUARANTINED,
+            COUNTER_EXECUTOR_FALLBACKS,
+            COUNTER_FAULTS_INJECTED,
+            COUNTER_RETRY_ATTEMPTS,
+            GAUGE_DLQ_DEPTH,
+        ):
+            assert name in doc, f"{name} missing from ROBUSTNESS.md"
+
+    def test_every_documented_fault_class_exists(self):
+        import repro.errors
+
+        doc = read("docs/ROBUSTNESS.md")
+        for token in re.findall(r"`(Fetch\w+|TruncatedFetch|GarbageFetch)`",
+                                doc):
+            assert hasattr(repro.errors, token), f"{token} does not exist"
+
+    def test_documented_fault_kinds_match_code(self):
+        from repro.faults import FAULT_KINDS
+
+        doc = read("docs/ROBUSTNESS.md")
+        for kind in FAULT_KINDS:
+            assert f"`{kind}`" in doc, f"kind {kind} missing"
+
+    def test_chaos_command_in_ci_workflow(self):
+        workflow = read(".github/workflows/ci.yml")
+        assert "repro chaos" in workflow
+        assert "--fault-rate" in workflow
+
+
 class TestLanguageReference:
     def test_grammar_examples_parse(self):
         from repro.language import parse_subscription

@@ -1,0 +1,378 @@
+"""End-to-end resilience: retries, breakers, quarantine, convergence.
+
+The central regression here is the determinism contract of
+``repro.webworld.crawler``: under a fixed seed, a crawl with 20%
+transient fault injection must produce *exactly* the same notification
+set as the fault-free crawl — every injected failure is absorbed by a
+backoff retry before the page's next nominal fetch, and retries re-serve
+already-evolved content without perturbing the shared RNG streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import FetchTimeout, GarbageFetch, PipelineError
+from repro.faults import (
+    CLOSED,
+    CircuitBreaker,
+    DeadLetterQueue,
+    FaultInjector,
+    FaultPlan,
+    OPEN,
+    RetryPolicy,
+)
+from repro.pipeline import Fetch, SubscriptionSystem
+from repro.webworld import ChangeModel, SimulatedCrawler, SiteGenerator
+from repro.webworld.refresh import ChangeRateEstimator, RefreshPlanner
+
+SOURCE = """
+subscription Chaos
+monitoring NewCam
+select X
+from self//Product X
+where URL extends "http://www.shop"
+  and new Product contains "camera"
+report when count >= 3
+"""
+
+
+def build_world(fault_rate=0.0, fault_seed=0, sites=8, seed=7):
+    """One simulated web + system, optionally under fault injection."""
+    clock = SimulatedClock(990_000_000.0)
+    system = SubscriptionSystem(clock=clock)
+    injector = None
+    dead_letters = None
+    if fault_rate > 0:
+        dead_letters = DeadLetterQueue(metrics=system.metrics)
+        system.dead_letters = dead_letters
+        injector = FaultInjector(
+            FaultPlan.transient_only(fault_rate, seed=fault_seed),
+            metrics=system.metrics,
+        )
+    generator = SiteGenerator(seed=seed)
+    crawler = SimulatedCrawler(
+        clock=clock,
+        change_model=ChangeModel(seed=seed + 1),
+        seed=seed + 2,
+        fault_injector=injector,
+        dead_letters=dead_letters,
+        metrics=system.metrics,
+        # A high threshold keeps breakers from opening under transient
+        # noise; breaker behaviour has its own tests below.
+        breaker_factory=lambda: CircuitBreaker(failure_threshold=50),
+    )
+    for i in range(sites):
+        crawler.add_xml_page(
+            f"http://www.shop{i}.example/catalog/products.xml",
+            generator.catalog(products=6),
+            change_probability=0.7,
+        )
+    system.subscribe(SOURCE, owner_email="chaos@example.org")
+    captured = []
+    system.processor.add_sink(captured.extend)
+    return system, crawler, captured
+
+
+def run_hourly(system, crawler, days, drain_hours=12):
+    """Drain the crawl hourly so backoff retries land between fetches."""
+    for _ in range(days * 24 + drain_hours):
+        system.run_stream(crawler.due_fetches())
+        system.advance_time(3600)
+
+
+def notification_keys(notifications):
+    return sorted((n.complex_code, n.document_url) for n in notifications)
+
+
+class TestDeterministicConvergence:
+    def test_transient_faults_converge_to_fault_free_run(self):
+        baseline_system, baseline_crawler, baseline_notes = build_world()
+        faulty_system, faulty_crawler, faulty_notes = build_world(
+            fault_rate=0.2, fault_seed=0
+        )
+        run_hourly(baseline_system, baseline_crawler, days=10)
+        run_hourly(faulty_system, faulty_crawler, days=10)
+
+        # The chaos run really was chaotic...
+        assert faulty_crawler.faults_seen > 5
+        assert faulty_crawler.retries_scheduled > 5
+        # ...yet nothing was lost: no quarantine, no open breakers,
+        assert faulty_crawler.dead_lettered == 0
+        assert len(faulty_system.dead_letters) == 0
+        assert faulty_crawler.open_breaker_urls() == []
+        # ...and the observable outcome is *identical* to the clean run.
+        assert faulty_system.documents_fed == baseline_system.documents_fed
+        assert notification_keys(faulty_notes) == notification_keys(
+            baseline_notes
+        )
+        assert len(baseline_notes) > 0
+
+    def test_fault_runs_are_reproducible(self):
+        first_system, first_crawler, first_notes = build_world(
+            fault_rate=0.2, fault_seed=3, sites=4
+        )
+        second_system, second_crawler, second_notes = build_world(
+            fault_rate=0.2, fault_seed=3, sites=4
+        )
+        run_hourly(first_system, first_crawler, days=5)
+        run_hourly(second_system, second_crawler, days=5)
+        assert first_crawler.faults_seen == second_crawler.faults_seen
+        assert first_system.documents_fed == second_system.documents_fed
+        assert notification_keys(first_notes) == notification_keys(
+            second_notes
+        )
+
+
+class _ScriptedInjector:
+    """Injector stub: replays a programmed fault sequence, then clean."""
+
+    def __init__(self, faults):
+        self.faults = list(faults)
+        self.rolls = 0
+
+    def roll(self, url, content=None):
+        self.rolls += 1
+        if self.faults:
+            return self.faults.pop(0)
+        return None
+
+
+def make_crawler(clock, injector, **kwargs):
+    crawler = SimulatedCrawler(
+        clock=clock,
+        change_model=ChangeModel(seed=1),
+        seed=2,
+        fault_injector=injector,
+        **kwargs,
+    )
+    generator = SiteGenerator(seed=3)
+    crawler.add_xml_page(
+        "http://www.shop0.example/catalog.xml", generator.catalog(products=3)
+    )
+    return crawler
+
+
+class TestCrawlerRetries:
+    def test_transient_fault_retries_and_reserves_same_content(self):
+        clock = SimulatedClock(0.0)
+        injector = _ScriptedInjector([FetchTimeout("t")])
+        crawler = make_crawler(clock, injector)
+        assert list(crawler.due_fetches()) == []  # first attempt faulted
+        assert crawler.faults_seen == 1
+        assert crawler.retries_scheduled == 1
+        clock.advance(70.0)  # base backoff 60s (+/- 10% jitter)
+        retried = list(crawler.due_fetches())
+        assert len(retried) == 1
+        # The retry served the content evolved at the nominal attempt:
+        # exactly one page evolution happened (fetch_count is per page
+        # read, not per attempt).
+        assert crawler.page("http://www.shop0.example/catalog.xml").fetch_count == 1
+
+    def test_retry_preserves_nominal_cadence(self):
+        clock = SimulatedClock(0.0)
+        injector = _ScriptedInjector([FetchTimeout("t")])
+        crawler = make_crawler(clock, injector)
+        list(crawler.due_fetches())
+        clock.advance(70.0)
+        assert len(list(crawler.due_fetches())) == 1
+        page = crawler.page("http://www.shop0.example/catalog.xml")
+        # Rescheduled from the *nominal* due time (0.0), not the retry time.
+        assert page.next_fetch == page.refresh_interval
+
+    def test_exhausted_retries_quarantine_the_fetch(self):
+        clock = SimulatedClock(0.0)
+        injector = _ScriptedInjector(
+            [FetchTimeout("t"), FetchTimeout("t"), FetchTimeout("t")]
+        )
+        dlq = DeadLetterQueue()
+        crawler = make_crawler(
+            clock,
+            injector,
+            retry_policy=RetryPolicy(max_attempts=3, jitter=0.0),
+            dead_letters=dlq,
+        )
+        for _ in range(6):
+            list(crawler.due_fetches())
+            clock.advance(150.0)
+        assert crawler.dead_lettered == 1
+        assert len(dlq) == 1
+        entry = dlq.entries()[0]
+        assert entry.url == "http://www.shop0.example/catalog.xml"
+        assert entry.error_class == "FetchTimeout"
+        assert entry.attempts == 3
+        assert entry.source == "crawl"
+        # The page stays in rotation at its nominal cadence.
+        page = crawler.page(entry.url)
+        assert page.next_fetch == page.refresh_interval
+
+    def test_non_transient_fault_skips_retries(self):
+        clock = SimulatedClock(0.0)
+        injector = _ScriptedInjector([GarbageFetch("g")])
+        dlq = DeadLetterQueue()
+        crawler = make_crawler(clock, injector, dead_letters=dlq)
+        assert list(crawler.due_fetches()) == []
+        assert crawler.retries_scheduled == 0
+        assert len(dlq) == 1
+        assert dlq.entries()[0].error_class == "GarbageFetch"
+
+    def test_retry_metrics_flow_to_registry(self):
+        clock = SimulatedClock(0.0)
+        metrics_clock = SimulatedClock(0.0)
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry(metrics_clock)
+        injector = _ScriptedInjector([FetchTimeout("t")])
+        crawler = make_crawler(clock, injector, metrics=metrics)
+        list(crawler.due_fetches())
+        assert metrics.snapshot()["counters"]["retry.attempts"] == 1
+
+
+class TestCrawlerBreakers:
+    def always_timeout(self):
+        class _Always:
+            def roll(self, url, content=None):
+                return FetchTimeout("t")
+
+        return _Always()
+
+    def test_breaker_opens_and_suspends_fetching(self):
+        clock = SimulatedClock(0.0)
+        crawler = make_crawler(
+            clock,
+            self.always_timeout(),
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=2, reset_timeout=300_000.0
+            ),
+        )
+        url = "http://www.shop0.example/catalog.xml"
+        list(crawler.due_fetches())  # failure 1 (quarantine-less)
+        clock.advance(crawler.page(url).refresh_interval)
+        list(crawler.due_fetches())  # failure 2 -> breaker opens
+        assert crawler.breaker(url).state == OPEN
+        assert crawler.open_breaker_urls() == [url]
+        # While open, due fetches neither emit nor evolve the page.
+        count_before = crawler.page(url).fetch_count
+        clock.advance(crawler.page(url).refresh_interval)
+        assert list(crawler.due_fetches()) == []
+        assert crawler.page(url).fetch_count == count_before
+
+    def test_half_open_probe_closes_breaker_on_success(self):
+        clock = SimulatedClock(0.0)
+        injector = _ScriptedInjector([FetchTimeout("t"), FetchTimeout("t")])
+        crawler = make_crawler(
+            clock,
+            injector,
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=2, reset_timeout=1000.0
+            ),
+        )
+        url = "http://www.shop0.example/catalog.xml"
+        interval = crawler.page(url).refresh_interval
+        list(crawler.due_fetches())
+        clock.advance(interval)
+        list(crawler.due_fetches())
+        assert crawler.breaker(url).state == OPEN
+        # After the reset timeout the single half-open probe goes through
+        # clean and the circuit closes again.
+        clock.advance(interval)
+        assert len(list(crawler.due_fetches())) == 1
+        assert crawler.breaker(url).state == CLOSED
+        assert crawler.open_breaker_urls() == []
+
+    def test_breaker_state_feeds_refresh_planner(self):
+        planner = RefreshPlanner(ChangeRateEstimator(), daily_budget=10.0)
+        planner.add_page("http://www.shop0.example/catalog.xml")
+        planner.add_page("http://www.shop1.example/catalog.xml")
+        planner.apply_breaker_state(["http://www.shop0.example/catalog.xml"])
+        intervals = planner.plan_intervals()
+        assert "http://www.shop0.example/catalog.xml" not in intervals
+        assert "http://www.shop1.example/catalog.xml" in intervals
+        # Recovery: an empty open set resumes everything.
+        planner.apply_breaker_state([])
+        assert len(planner.plan_intervals()) == 2
+
+    def test_breaker_state_changes_counted(self):
+        clock = SimulatedClock(0.0)
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry(SimulatedClock(0.0))
+        crawler = make_crawler(
+            clock,
+            self.always_timeout(),
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker_factory=lambda: CircuitBreaker(failure_threshold=1),
+            metrics=metrics,
+        )
+        list(crawler.due_fetches())
+        counters = metrics.snapshot()["counters"]
+        assert counters["breaker.state_changes{to=open}"] == 1
+
+
+class TestPipelineQuarantine:
+    def test_rejected_documents_enter_the_dlq(self):
+        system = SubscriptionSystem(dead_letters=DeadLetterQueue())
+        system.feed_batch(
+            [
+                Fetch("http://x.example/bad.xml", "<broken"),
+                Fetch("http://x.example/ok.xml", "<r/>"),
+            ]
+        )
+        assert system.documents_rejected == 1
+        assert len(system.dead_letters) == 1
+        entry = system.dead_letters.entries()[0]
+        assert entry.url == "http://x.example/bad.xml"
+        assert entry.source == "pipeline"
+        assert entry.error_class == "XMLSyntaxError"
+
+    def test_requeue_replays_quarantined_documents(self):
+        system = SubscriptionSystem(dead_letters=DeadLetterQueue())
+        system.feed_batch([Fetch("http://x.example/bad.xml", "<broken")])
+        # Still broken: the document goes straight back into quarantine.
+        recovered, requarantined = system.requeue_dead_letters()
+        assert (recovered, requarantined) == (0, 1)
+        # "Fix" the page content, then requeue again: now it recovers.
+        entry = system.dead_letters.drain()[0]
+        entry.content = "<catalog><Product>camera</Product></catalog>"
+        system.dead_letters.push(entry)
+        recovered, requarantined = system.requeue_dead_letters()
+        assert (recovered, requarantined) == (1, 0)
+        assert len(system.dead_letters) == 0
+        assert system.repository.has_url("http://x.example/bad.xml")
+
+    def test_requeue_without_dlq_is_an_error(self):
+        system = SubscriptionSystem()
+        with pytest.raises(PipelineError):
+            system.requeue_dead_letters()
+
+    def test_requeue_on_empty_queue_is_a_noop(self):
+        system = SubscriptionSystem(dead_letters=DeadLetterQueue())
+        assert system.requeue_dead_letters() == (0, 0)
+
+
+class TestChaosSmokeCommand:
+    def test_chaos_cli_absorbs_all_faults(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--sites", "5",
+                    "--days", "5",
+                    "--fault-rate", "0.2",
+                    "--seed", "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "chaos: OK" in out
+
+    def test_chaos_requires_a_fault_rate(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--fault-rate", "0"]) == 2

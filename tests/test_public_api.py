@@ -9,6 +9,7 @@ PACKAGES = [
     "repro.alerters",
     "repro.core",
     "repro.diff",
+    "repro.faults",
     "repro.language",
     "repro.minisql",
     "repro.observability",

@@ -1,4 +1,7 @@
+import pytest
+
 from repro.clock import SECONDS_PER_DAY, SimulatedClock
+from repro.errors import PipelineError
 from repro.webworld import (
     ChangeModel,
     ChangeRates,
@@ -150,6 +153,60 @@ class TestCrawler:
         second = list(crawler.due_fetches())[0]
         assert first.kind == "html"
         assert second.content != first.content
+
+    def test_reschedule_anchors_on_due_time_not_drain_time(self):
+        """A late drain must not stretch the page's effective cadence."""
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        crawler.add_xml_page(
+            "http://a/x.xml", SiteGenerator(seed=1).catalog(3)
+        )
+        list(crawler.due_fetches())
+        # The consumer drains six hours late, every day: under the old
+        # now-anchored reschedule the interval would drift to 30 hours.
+        for day in range(1, 4):
+            clock.advance(SECONDS_PER_DAY + 6 * 3600)
+            assert len(list(crawler.due_fetches())) == 1
+            page = crawler.page("http://a/x.xml")
+            # Rescheduled from the nominal slot: still on the daily grid.
+            assert page.next_fetch % SECONDS_PER_DAY == 0
+            clock.set_time(page.next_fetch - 6 * 3600)
+
+    def test_reschedule_skips_missed_slots_without_bursts(self):
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        crawler.add_xml_page(
+            "http://a/x.xml", SiteGenerator(seed=1).catalog(3)
+        )
+        list(crawler.due_fetches())
+        # Fall three full intervals behind: exactly one fetch comes out
+        # (no catch-up burst) and the next slot stays on the daily grid,
+        # strictly in the future.
+        clock.advance(3.5 * SECONDS_PER_DAY)
+        assert len(list(crawler.due_fetches())) == 1
+        page = crawler.page("http://a/x.xml")
+        assert page.next_fetch == 4 * SECONDS_PER_DAY
+        assert page.next_fetch > clock.now()
+
+    def test_missing_xml_document_is_a_pipeline_error(self):
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        page = crawler.add_xml_page(
+            "http://a/x.xml", SiteGenerator(seed=1).catalog(3)
+        )
+        page.document = None  # corrupted page table
+        with pytest.raises(PipelineError, match="has no document"):
+            list(crawler.due_fetches())
+
+    def test_missing_html_content_is_a_pipeline_error(self):
+        clock = SimulatedClock(0.0)
+        crawler = SimulatedCrawler(clock=clock, seed=1)
+        page = crawler.add_html_page(
+            "http://a/i.html", "<html><body>x</body></html>"
+        )
+        page.html = None
+        with pytest.raises(PipelineError, match="has no content"):
+            list(crawler.due_fetches())
 
 
 class TestSyntheticWorkload:
