@@ -15,7 +15,9 @@ In this case only, an alert ... is sent."
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import AtomicEventKey, WEAK_KINDS
 from ..core.processor import Alert
@@ -32,6 +34,48 @@ from .context import FetchedDocument
 from .html_alerter import HTMLAlerter
 from .url_alerter import URLAlerter
 from .xml_alerter import XMLAlerter
+
+
+def merge_detections(
+    alerters: Sequence[Alerter], fetched: FetchedDocument
+) -> Tuple[Set[int], Dict[int, Any]]:
+    """Run every alerter over one document and merge the detections.
+
+    Pure: only the registered pattern tables are read, so the same
+    function serves the in-process chain and the process-pool workers
+    (which run it over a pickled :class:`DetectorState` snapshot).
+    """
+    codes: Set[int] = set()
+    data: Dict[int, Any] = {}
+    for alerter in alerters:
+        detected, payload = alerter.detect(fetched)
+        codes |= detected
+        data.update(payload)
+    return codes, data
+
+
+#: Process-unique serial per chain, so a worker-side detector cache can
+#: never confuse snapshots of two different chains (id() values can be
+#: recycled after garbage collection; these serials never are).
+_CHAIN_SERIALS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class DetectorState:
+    """A picklable snapshot of one chain's pure detection tables.
+
+    ``token`` is ``(chain serial, chain version)``: it changes whenever a
+    registration changes, so worker processes can cache the unpickled
+    snapshot and only rebuild when the chain actually changed.
+    """
+
+    token: Tuple[int, int]
+    alerters: Tuple[Alerter, ...]
+
+    def detect_events(
+        self, fetched: FetchedDocument
+    ) -> Tuple[Set[int], Dict[int, Any]]:
+        return merge_detections(self.alerters, fetched)
 
 
 class AlerterChain:
@@ -54,6 +98,10 @@ class AlerterChain:
         #: Codes of weak events currently registered (for gating).
         self._weak_codes: Set[int] = set()
         self._registered: Dict[int, List[Alerter]] = {}
+        #: Bumped on every (un)registration; ``detector_state`` tokens
+        #: embed it so stale worker-side snapshots are never reused.
+        self.version = 0
+        self._serial = next(_CHAIN_SERIALS)
 
     # -- registration -----------------------------------------------------------
 
@@ -68,6 +116,7 @@ class AlerterChain:
         self._registered[code] = targets
         if key.kind in WEAK_KINDS:
             self._weak_codes.add(code)
+        self.version += 1
 
     def unregister(self, code: int, key: AtomicEventKey) -> None:
         targets = self._registered.pop(code, None)
@@ -76,6 +125,14 @@ class AlerterChain:
         for alerter in targets:
             alerter.unregister(code, key)
         self._weak_codes.discard(code)
+        self.version += 1
+
+    def detector_state(self) -> DetectorState:
+        """Snapshot the pure detection tables for out-of-process use."""
+        return DetectorState(
+            token=(self._serial, self.version),
+            alerters=tuple(self.alerters),
+        )
 
     # -- detection ----------------------------------------------------------------
 
@@ -93,15 +150,10 @@ class AlerterChain:
 
         This is the pure, read-only half of :meth:`build_alert`: it only
         reads the registered pattern tables, so executors may run it
-        concurrently across documents on worker threads.
+        concurrently across documents on worker threads (or, via
+        :meth:`detector_state`, in worker processes).
         """
-        codes: Set[int] = set()
-        data: Dict[int, Any] = {}
-        for alerter in self.alerters:
-            detected, payload = alerter.detect(fetched)
-            codes |= detected
-            data.update(payload)
-        return codes, data
+        return merge_detections(self.alerters, fetched)
 
     def finish_alert(
         self,

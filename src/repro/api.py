@@ -1,0 +1,114 @@
+"""The stable public API of the reproduction, in one import.
+
+Everything an application (or a benchmark, or a notebook) needs to run
+the Figure 3 monitoring system lives here, re-exported from its home
+module under one flat namespace::
+
+    from repro import api
+
+    system = api.SubscriptionSystem(executor="process:workers=4,batch=64")
+    system.subscribe(source, owner_email="me@example.org")
+    with api.IngestSession(system) as session:
+        session.run_crawl(crawler)
+
+The groups:
+
+* **system** — :class:`SubscriptionSystem`, :class:`Fetch`,
+  :class:`FeedResult`, the errors;
+* **ingestion** — :class:`IngestSession`, :class:`IngestReport`,
+  :class:`AsyncFetchFrontend`, :class:`BoundedFetchQueue`;
+* **executors** — :class:`ExecutorSpec`, :func:`create_executor`,
+  :func:`register_executor`, :func:`available_executors`, and the
+  executor classes themselves for direct construction;
+* **resilience** — fault injection, retry, breaker and dead-letter types;
+* **observability** — the metrics registry types.
+
+Modules under ``repro.*`` remain importable directly, but this facade is
+the compatibility surface: names here do not move between releases,
+whereas internal module layout may.  The deprecated entry points they
+replace (``repro.pipeline.executor.make_executor``) emit a
+``DeprecationWarning`` and delegate here.
+"""
+
+from __future__ import annotations
+
+from .clock import SimulatedClock, WallClock
+from .errors import (
+    PipelineError,
+    ReproError,
+    SubscriptionSyntaxError,
+    XMLSyntaxError,
+)
+from .faults import (
+    CircuitBreaker,
+    DeadLetterEntry,
+    DeadLetterQueue,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
+from .observability import MetricsRegistry, NULL_REGISTRY, NullRegistry
+from .pipeline import (
+    AsyncFetchFrontend,
+    BatchExecutor,
+    BoundedFetchQueue,
+    DEFAULT_BATCH_SIZE,
+    ExecutorSpec,
+    Fetch,
+    FeedResult,
+    IngestReport,
+    IngestSession,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardFanoutExecutor,
+    SubscriptionSystem,
+    ThreadedExecutor,
+    from_pairs,
+)
+from .pipeline.executors import available as available_executors
+from .pipeline.executors import create as create_executor
+from .pipeline.executors import register as register_executor
+from .webworld import SimulatedCrawler, SiteGenerator
+
+__all__ = [
+    # system
+    "SubscriptionSystem",
+    "Fetch",
+    "FeedResult",
+    "from_pairs",
+    "ReproError",
+    "PipelineError",
+    "SubscriptionSyntaxError",
+    "XMLSyntaxError",
+    # ingestion
+    "IngestSession",
+    "IngestReport",
+    "AsyncFetchFrontend",
+    "BoundedFetchQueue",
+    # executors
+    "ExecutorSpec",
+    "create_executor",
+    "register_executor",
+    "available_executors",
+    "BatchExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ProcessExecutor",
+    "ShardFanoutExecutor",
+    "DEFAULT_BATCH_SIZE",
+    # resilience
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "DeadLetterQueue",
+    "DeadLetterEntry",
+    # observability + substrate
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "SimulatedClock",
+    "WallClock",
+    "SimulatedCrawler",
+    "SiteGenerator",
+]

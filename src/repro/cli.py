@@ -168,16 +168,32 @@ def _build_parser() -> argparse.ArgumentParser:
 def _add_executor_arguments(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--executor",
-        choices=["serial", "threaded", "sharded"],
+        metavar="SPEC",
         default=None,
-        help="batch executor for the document stream"
+        help="executor spec, name[:key=value,...] — e.g. serial,"
+        " threaded:workers=4, process:workers=4,batch=64,queue=128"
         " (default: $REPRO_EXECUTOR or serial)",
     )
     subparser.add_argument(
         "--batch-size",
         type=int,
         default=None,
-        help="documents per executor batch (default: 32)",
+        help="documents per executor batch; overrides the spec's batch="
+        " field (default: 32)",
+    )
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker lanes for the threaded/process executors; overrides"
+        " the spec's workers= field",
+    )
+    subparser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="bound of the ingest queue between fetching and the executor;"
+        " overrides the spec's queue= field (default: 2x batch size)",
     )
 
 
@@ -236,10 +252,16 @@ def _cmd_fmt(args: argparse.Namespace) -> int:
 def _run_simulation(
     sites: int, days: int, seed: int, shards: int = 1,
     shard_mode: str = "flow", executor: Optional[str] = None,
-    batch_size: Optional[int] = None, fault_rate: float = 0.0,
+    batch_size: Optional[int] = None, workers: Optional[int] = None,
+    queue_depth: Optional[int] = None, fault_rate: float = 0.0,
     fault_seed: int = 0,
 ):
     """The shared demo/stats/chaos scenario: crawl ``sites`` for ``days``.
+
+    ``executor`` is a spec string (``process:workers=4,batch=64``);
+    ``batch_size`` / ``workers`` / ``queue_depth`` are the individual
+    flag overrides, which win over the spec's own fields (see
+    :mod:`repro.pipeline.executors` for the precedence rules).
 
     With ``fault_rate`` > 0 the crawl runs under a seeded transient-only
     :class:`~repro.faults.FaultInjector` with a shared dead-letter queue,
@@ -249,14 +271,17 @@ def _run_simulation(
     ``system.dead_letters``.
     """
     from .faults import DeadLetterQueue, FaultInjector, FaultPlan
-    from .pipeline import DEFAULT_BATCH_SIZE, SubscriptionSystem
+    from .pipeline import SubscriptionSystem
+    from .pipeline.executors import resolve
     from .webworld import ChangeModel, SimulatedCrawler, SiteGenerator
 
+    spec = resolve(executor).merged(
+        workers=workers, batch=batch_size, queue=queue_depth
+    )
     clock = SimulatedClock(990_000_000.0)
     system = SubscriptionSystem(
         clock=clock, shards=shards, shard_mode=shard_mode,
-        executor=executor,
-        batch_size=DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
+        executor=spec,
     )
     injector = None
     dead_letters = None
@@ -331,6 +356,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     system, crawler = _run_simulation(
         args.sites, args.days, args.seed,
         executor=args.executor, batch_size=args.batch_size,
+        workers=args.workers, queue_depth=args.queue_depth,
         fault_rate=args.fault_rate, fault_seed=args.fault_seed,
     )
     stats = system.processor.stats
@@ -354,6 +380,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         args.sites, args.days, args.seed,
         shards=args.shards, shard_mode=args.shard_mode,
         executor=args.executor, batch_size=args.batch_size,
+        workers=args.workers, queue_depth=args.queue_depth,
         fault_rate=args.fault_rate, fault_seed=args.fault_seed,
     )
     _write_dlq_json(system, args.dlq_json)
@@ -384,6 +411,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         system, crawler = _run_simulation(
             args.sites, args.days, args.seed,
             executor=args.executor, batch_size=args.batch_size,
+            workers=args.workers, queue_depth=args.queue_depth,
             fault_rate=args.fault_rate, fault_seed=args.fault_seed,
         )
     except Exception:

@@ -64,6 +64,12 @@ COUNTER_BREAKER_STATE_CHANGES = "breaker.state_changes"  # label: to
 COUNTER_EXECUTOR_FALLBACKS = "executor.fallbacks"  # label: executor
 COUNTER_DLQ_QUARANTINED = "dlq.quarantined"  # label: source
 
+# Bounded-ingest counters (the queue between the fetch front-end and the
+# batch executor, ``repro.pipeline.ingest``): they appear only when a
+# stream actually runs through the bounded queue.
+COUNTER_INGEST_BACKPRESSURE_WAITS = "ingest.backpressure_waits"
+COUNTER_FRONTEND_FETCHES = "frontend.fetches"
+
 COUNTER_NAMES: Tuple[str, ...] = (
     COUNTER_REPOSITORY_OUTCOMES,
     COUNTER_ALERTS_BUILT,
@@ -79,6 +85,8 @@ COUNTER_NAMES: Tuple[str, ...] = (
     COUNTER_BREAKER_STATE_CHANGES,
     COUNTER_EXECUTOR_FALLBACKS,
     COUNTER_DLQ_QUARANTINED,
+    COUNTER_INGEST_BACKPRESSURE_WAITS,
+    COUNTER_FRONTEND_FETCHES,
 )
 
 # -- gauges ------------------------------------------------------------------

@@ -37,8 +37,10 @@ and the ``executor.queue_depth`` gauge maintained by
 from __future__ import annotations
 
 import os
+import pickle
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -334,6 +336,242 @@ class ThreadedExecutor(BatchExecutor):
         return tasks
 
 
+def _contiguous_slices(items: List, lanes: int) -> List[List]:
+    """Split ``items`` into at most ``lanes`` contiguous slices."""
+    lanes = min(max(1, lanes), len(items))
+    bound = -(-len(items) // lanes)  # ceil division
+    return [
+        items[offset : offset + bound]
+        for offset in range(0, len(items), bound)
+    ]
+
+
+class ProcessExecutor(BatchExecutor):
+    """True-parallel parse/detect: the pure stages leave the GIL entirely.
+
+    Sweep layout per batch (same ordered-merge contract as
+    :class:`ThreadedExecutor`)::
+
+        1. parse    — worker processes (payload: ParseRequest/Response)
+        2. load + classify — input order (repository state)
+        3. detect   — worker processes (payload: DetectRequest/Response)
+        4. alert + match + route — input order (counters, MQP, sinks)
+
+    ``workers`` counts parallel lanes *including* the parent process: the
+    parent takes the first contiguous slice of every sweep while a lazily
+    created pool of ``workers - 1`` processes takes the rest, so
+    ``workers=1`` degenerates to the serial path with no pool at all.
+
+    Detection tables travel as a pickled
+    :class:`~repro.alerters.DetectorState` snapshot, re-pickled only when
+    the chain version changes and cached per worker by version token (see
+    :mod:`repro.pipeline.workers`).  ``detect_locally=True`` keeps the
+    detect sweep in the parent (useful when documents are large enough
+    that shipping them costs more than detection saves).
+
+    A broken pool (a worker killed mid-batch) degrades the sweep to the
+    serial path — counted under ``executor.fallbacks{executor=process}``
+    — and the dead pool is discarded so the next batch starts a fresh
+    one.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        detect_locally: bool = False,
+    ):
+        if workers is None:
+            workers = max(2, min(8, os.cpu_count() or 2))
+        self.workers = max(1, int(workers))
+        self.detect_locally = bool(detect_locally)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._blob_token: Optional[Tuple[int, int]] = None
+        self._blob: bytes = b""
+
+    # -- pool plumbing ----------------------------------------------------
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self.workers <= 1:
+            return None
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers - 1
+                )
+            return self._pool
+
+    def _discard_pool(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _detector_blob(self, system: Any) -> Tuple[Tuple[int, int], bytes]:
+        """The pickled detector snapshot, re-pickled once per version."""
+        state = system.alerter_chain.detector_state()
+        if state.token != self._blob_token:
+            self._blob = pickle.dumps(state, pickle.HIGHEST_PROTOCOL)
+            self._blob_token = state.token
+        return self._blob_token, self._blob
+
+    def _process_sweep(
+        self,
+        worker_fn: Callable,
+        requests: List,
+        apply_fn: Callable[[Any], None],
+        extra_args: Tuple = (),
+    ) -> None:
+        """Fan a request list over the pool; parent takes the first slice.
+
+        Raises whatever the pool raises (broken pool, unpicklable
+        payload) — callers guard with a serial fallback.
+        """
+        pool = self._ensure_pool() if len(requests) > 1 else None
+        if pool is None:
+            for response in worker_fn(*extra_args, requests):
+                apply_fn(response)
+            return
+        slices = _contiguous_slices(requests, self.workers)
+        futures = [
+            pool.submit(worker_fn, *extra_args, piece)
+            for piece in slices[1:]
+        ]
+        try:
+            for response in worker_fn(*extra_args, slices[0]):
+                apply_fn(response)
+            for future in futures:
+                for response in future.result():
+                    apply_fn(response)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+
+    # -- the batch --------------------------------------------------------
+
+    def run_batch(
+        self,
+        system: Any,
+        tasks: List[PipelineTask],
+        stop_on_error: bool = False,
+    ) -> List[PipelineTask]:
+        from .workers import DetectRequest, ParseRequest, detect_slice, parse_slice
+
+        timer = _StageTimer(system.metrics, self.name)
+
+        # 1. parse — worker processes.
+        parseable = [
+            t for t in tasks if t.fetch.is_xml and t.document is None
+        ]
+        start = timer.start()
+        if parseable:
+            requests = [
+                ParseRequest(t.index, t.fetch.url, t.fetch.content)
+                for t in parseable
+            ]
+            by_index = {t.index: t for t in parseable}
+
+            def apply_parse(response) -> None:
+                task = by_index[response.index]
+                if response.error is not None:
+                    task.error = response.error
+                    task.failed_stage = STAGE_PARSE
+                else:
+                    task.document = response.document
+                    task.stage = STAGE_PARSE
+
+            try:
+                self._process_sweep(parse_slice, requests, apply_parse)
+            except Exception as exc:
+                self._degrade(system, exc)
+                for task in parseable:
+                    parse_stage(task)
+        timer.stop(STAGE_PARSE, start)
+
+        # 2. load + classify — input order.
+        reached = len(tasks)
+        for position, task in enumerate(tasks):
+            raise_if_fatal(task)
+            start = timer.start()
+            run_stage(STAGE_LOAD, load_stage, system, task)
+            timer.stop(STAGE_LOAD, start)
+            start = timer.start()
+            run_stage(STAGE_CLASSIFY, classify_stage, system, task)
+            timer.stop(STAGE_CLASSIFY, start)
+            if task.error is not None and stop_on_error:
+                reached = position + 1
+                break
+        live = tasks[:reached]
+
+        # 3. detect — worker processes (documents ship as pickled
+        # FetchedDocument payloads; detection results come back as code
+        # sets + payload copies).
+        detectable = [t for t in live if t.error is None]
+        start = timer.start()
+        if detectable:
+            if self.detect_locally or len(detectable) <= 1:
+                for task in detectable:
+                    detect_stage(system, task)
+            else:
+                requests = [
+                    DetectRequest(t.index, t.fetched) for t in detectable
+                ]
+                by_index = {t.index: t for t in detectable}
+
+                def apply_detect(response) -> None:
+                    task = by_index[response.index]
+                    if response.error is not None:
+                        task.detection_error = response.error
+                    else:
+                        task.detection = response.detection
+
+                try:
+                    token, blob = self._detector_blob(system)
+                    self._process_sweep(
+                        detect_slice,
+                        requests,
+                        apply_detect,
+                        extra_args=(token, blob),
+                    )
+                except Exception as exc:
+                    self._degrade(system, exc)
+                    for task in detectable:
+                        detect_stage(system, task)
+        timer.stop(STAGE_DETECT, start)
+
+        # 4. alert + match + route — input order.
+        for task in live:
+            for stage, step in (
+                (STAGE_ALERT, alert_stage),
+                (STAGE_MATCH, match_stage),
+                (STAGE_ROUTE, route_stage),
+            ):
+                start = timer.start()
+                run_stage(stage, step, system, task)
+                timer.stop(stage, start)
+                if task.error is not None:
+                    break
+            if task.error is not None and stop_on_error:
+                break
+        timer.flush()
+        return tasks
+
+    def _degrade(self, system: Any, exc: Exception) -> None:
+        """Count one degraded batch; discard the pool if it died."""
+        self._count_fallback(system)
+        if isinstance(exc, BrokenExecutor):
+            self._discard_pool()
+
+
 class ShardFanoutExecutor(BatchExecutor):
     """Sharded-parallel match: the batch's alerts fan out across the flow
     partitioner's shards concurrently instead of the serial shard loop.
@@ -416,25 +654,42 @@ class ShardFanoutExecutor(BatchExecutor):
         return tasks
 
 
-#: Registry for CLI / constructor string specs.
+#: Legacy registry for bare-name specs.  Superseded by the
+#: :mod:`repro.pipeline.executors` registry (which also understands
+#: ``name:key=value,...`` option strings); kept so old callers keep
+#: working.
 EXECUTORS: Dict[str, Callable[[], BatchExecutor]] = {
     SerialExecutor.name: SerialExecutor,
     ThreadedExecutor.name: ThreadedExecutor,
+    ProcessExecutor.name: ProcessExecutor,
     ShardFanoutExecutor.name: ShardFanoutExecutor,
 }
+
+#: One-shot latch for the ``make_executor`` deprecation warning (tests
+#: reset it to assert the warning fires exactly once).
+_MAKE_EXECUTOR_WARNED = False
 
 
 def make_executor(
     spec: Union[str, BatchExecutor, None] = None,
 ) -> BatchExecutor:
-    """Resolve an executor: an instance passes through, a name is looked
-    up, ``None`` falls back to ``$REPRO_EXECUTOR`` and then to serial."""
-    if isinstance(spec, BatchExecutor):
-        return spec
-    if spec is None:
-        spec = os.environ.get(EXECUTOR_ENV) or SerialExecutor.name
-    factory = EXECUTORS.get(str(spec).strip().lower())
-    if factory is None:
-        known = ", ".join(sorted(EXECUTORS))
-        raise PipelineError(f"unknown executor {spec!r} (choose from {known})")
-    return factory()
+    """Deprecated: use :func:`repro.pipeline.executors.create`.
+
+    The replacement accepts everything this accepted (instances pass
+    through, bare names are looked up, ``None`` falls back to
+    ``$REPRO_EXECUTOR`` and then to serial) plus full
+    ``name:key=value,...`` spec strings.  This shim delegates to it and
+    emits one :class:`DeprecationWarning` per process.
+    """
+    global _MAKE_EXECUTOR_WARNED
+    if not _MAKE_EXECUTOR_WARNED:
+        _MAKE_EXECUTOR_WARNED = True
+        warnings.warn(
+            "repro.pipeline.executor.make_executor is deprecated; use "
+            "repro.pipeline.executors.create (or the repro.api facade)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    from .executors import create
+
+    return create(spec)

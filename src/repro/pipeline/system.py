@@ -64,10 +64,10 @@ from .executor import (
     BATCH_SIZE_BUCKETS,
     BatchExecutor,
     DEFAULT_BATCH_SIZE,
-    make_executor,
 )
+from .executors import ExecutorSpec, create as _create_executor, resolve
 from .stages import FeedResult, LIFECYCLE, PipelineTask
-from .stream import Fetch, HTML_PAGE, XML_PAGE, chunked
+from .stream import Fetch, HTML_PAGE, XML_PAGE
 
 __all__ = ["FeedResult", "SubscriptionSystem"]
 
@@ -90,8 +90,9 @@ class SubscriptionSystem:
         shards: int = 1,
         shard_mode: str = "flow",
         metrics: Optional[MetricsRegistry] = None,
-        executor: Union[str, BatchExecutor, None] = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        executor: Union[str, "ExecutorSpec", BatchExecutor, None] = None,
+        batch_size: Optional[int] = None,
+        queue_bound: Optional[int] = None,
         dead_letters: Optional[DeadLetterQueue] = None,
     ):
         """``shards`` > 1 distributes the MQP (Section 4.2): ``shard_mode``
@@ -106,9 +107,14 @@ class SubscriptionSystem:
         instrumentation entirely.
 
         ``executor`` selects the batch executor used by :meth:`feed_batch`
-        and :meth:`run_stream` — a name ("serial", "threaded", "sharded"),
-        an instance, or ``None`` for ``$REPRO_EXECUTOR`` / serial;
-        ``batch_size`` is the default stream chunking.
+        and :meth:`run_stream` — a spec string
+        (``"process:workers=4,batch=64"``; see
+        :mod:`repro.pipeline.executors` for the grammar), an
+        :class:`~repro.pipeline.executors.ExecutorSpec`, an instance, or
+        ``None`` for ``$REPRO_EXECUTOR`` / serial.  ``batch_size`` and
+        ``queue_bound`` (the ingest-queue bound used by
+        :meth:`run_stream`) override the spec's ``batch=`` / ``queue=``
+        fields; the defaults are 32 and 2x the batch size.
 
         ``dead_letters`` quarantines pages the loader rejects instead of
         silently dropping them: each rejected fetch becomes a
@@ -193,10 +199,28 @@ class SubscriptionSystem:
             COUNTER_NOTIFICATIONS_EMITTED
         )
         self._subscriptions_gauge = self.metrics.gauge(GAUGE_SUBSCRIPTIONS)
+        if isinstance(executor, BatchExecutor):
+            spec = ExecutorSpec(name=executor.name)
+            self.executor = executor
+        else:
+            spec = resolve(executor)
+            self.executor = _create_executor(spec)
+        self.executor_spec = spec
+        if batch_size is None:
+            batch_size = spec.batch if spec.batch is not None else DEFAULT_BATCH_SIZE
         if batch_size < 1:
             raise PipelineError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = int(batch_size)
-        self.executor = make_executor(executor)
+        if queue_bound is None:
+            queue_bound = (
+                spec.queue if spec.queue is not None else 2 * self.batch_size
+            )
+        if queue_bound < self.batch_size:
+            raise PipelineError(
+                f"queue_bound ({queue_bound}) must be >= batch_size"
+                f" ({self.batch_size}) or full batches could never form"
+            )
+        self.queue_bound = int(queue_bound)
         self.dead_letters = dead_letters
         # Batch metrics are interned on the first feed_batch call so a
         # system fed only through the single-document path keeps a snapshot
@@ -326,27 +350,35 @@ class SubscriptionSystem:
         stream: Iterable[Fetch],
         skip_malformed: bool = True,
         batch_size: Optional[int] = None,
+        queue_bound: Optional[int] = None,
     ) -> List[FeedResult]:
-        """Feed a whole stream, batch by batch.
+        """Feed a whole stream through the bounded ingest queue.
 
-        The stream is chunked into batches of ``batch_size`` (default: the
-        system's ``batch_size``) and each batch runs through the configured
-        executor via :meth:`feed_batch`.  Real crawls contain malformed
-        pages and kind-confused URLs; with ``skip_malformed`` (the default)
-        a page the loader rejects — any :class:`~repro.errors.ReproError`
-        subclass it raises, not only
+        A feeder thread drains ``stream`` into a
+        :class:`~repro.pipeline.ingest.BoundedFetchQueue` of ``queue_bound``
+        items (default: the system's ``queue_bound``) while this thread
+        consumes batches of ``batch_size`` (default: the system's
+        ``batch_size``) via :meth:`feed_batch` — so a slow executor
+        throttles the stream (``ingest.backpressure_waits``) instead of
+        buffering it, and ``executor.queue_depth`` can genuinely saturate.
+
+        Per-document semantics are unchanged from eager chunking: with
+        ``skip_malformed`` (the default) a page the loader rejects — any
+        :class:`~repro.errors.ReproError` subclass it raises, not only
         :class:`~repro.errors.XMLSyntaxError` — is counted
         (``documents_rejected``, plus a
         ``pipeline.documents_rejected{reason=...}`` metric recording the
         error class) and skipped rather than aborting the stream.
         """
-        size = self.batch_size if batch_size is None else int(batch_size)
-        results: List[FeedResult] = []
-        for batch in chunked(stream, size):
-            results.extend(
-                self.feed_batch(batch, skip_malformed=skip_malformed)
-            )
-        return results
+        from .ingest import IngestSession
+
+        session = IngestSession(
+            self,
+            batch_size=batch_size,
+            queue_bound=queue_bound,
+            skip_malformed=skip_malformed,
+        )
+        return session.run(stream)
 
     def requeue_dead_letters(self) -> Tuple[int, int]:
         """Replay every quarantined document through the pipeline.

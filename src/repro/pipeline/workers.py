@@ -1,0 +1,161 @@
+"""Worker-process side of the :class:`~repro.pipeline.executor.ProcessExecutor`.
+
+The pure pipeline stages — XML parsing and alerter detection — touch no
+shared state, so they can leave the GIL entirely and run in worker
+*processes*.  Everything that crosses the process boundary is a small,
+explicitly picklable payload type defined here:
+
+* :class:`ParseRequest` / :class:`ParseResponse` — raw page text in,
+  parsed :class:`~repro.xmlstore.nodes.Document` (or the parse error) out;
+* :class:`DetectRequest` / :class:`DetectResponse` — a
+  :class:`~repro.alerters.FetchedDocument` in, the merged alerter
+  :data:`~repro.pipeline.stages.Detection` (or the error) out.
+
+Detection needs the alerter chain's pattern tables.  Shipping them with
+every request would swamp the win, so the parent pickles one
+:class:`~repro.alerters.DetectorState` snapshot per chain *version* and
+workers cache the unpickled snapshot by its ``(chain serial, version)``
+token (:data:`DETECTOR_CACHE_SIZE` most recent): steady-state batches
+re-send only the blob bytes, and a subscription change bumps the version
+so stale tables are never reused.
+
+Errors travel back as exception objects when they survive pickling; an
+unpicklable exception is replaced by a same-category stand-in (a
+:class:`~repro.errors.PipelineError` for ``ReproError``\\ s, a
+``RuntimeError`` otherwise) so the parent's error-slot / fatal-error
+semantics are preserved either way.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..alerters.chain import DetectorState
+from ..alerters.context import FetchedDocument
+from ..errors import PipelineError, ReproError
+from ..xmlstore.nodes import Document
+from ..xmlstore.parser import parse
+from .stages import Detection
+
+#: Unpickled detector snapshots kept per worker process (newest last).
+DETECTOR_CACHE_SIZE = 4
+
+
+@dataclass(frozen=True)
+class ParseRequest:
+    """One XML page to parse, tagged with its position in the batch."""
+
+    index: int
+    url: str
+    content: str
+
+
+@dataclass
+class ParseResponse:
+    """What parsing one page produced: a document or a parked error."""
+
+    index: int
+    document: Optional[Document] = None
+    error: Optional[BaseException] = None
+
+
+@dataclass(frozen=True)
+class DetectRequest:
+    """One classified document to run the alerter tables over."""
+
+    index: int
+    fetched: FetchedDocument
+
+
+@dataclass
+class DetectResponse:
+    """The merged detection for one document, or a parked error."""
+
+    index: int
+    detection: Optional[Detection] = None
+    error: Optional[BaseException] = None
+
+
+def portable_error(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round-trip, else a
+    same-category stand-in.
+
+    The category matters: a :class:`ReproError` is a rejected document
+    (parked on the error slot) while anything else is a programming error
+    (re-raised in the parent), so the stand-in must stay on the same side
+    of that line.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+    except Exception:
+        message = f"{type(exc).__name__}: {exc}"
+        if isinstance(exc, ReproError):
+            return PipelineError(f"worker error (unpicklable): {message}")
+        return RuntimeError(f"worker error (unpicklable): {message}")
+    return exc
+
+
+def parse_slice(requests: Sequence[ParseRequest]) -> List[ParseResponse]:
+    """Parse a contiguous slice of a batch (runs in a worker process)."""
+    responses: List[ParseResponse] = []
+    for request in requests:
+        try:
+            document = parse(request.content)
+        except Exception as exc:  # noqa: BLE001 — re-raised in order by load
+            responses.append(
+                ParseResponse(request.index, error=portable_error(exc))
+            )
+        else:
+            responses.append(ParseResponse(request.index, document=document))
+    return responses
+
+
+#: token -> DetectorState, per worker process (module global: survives
+#: across submissions for the life of the worker).
+_detector_cache: "OrderedDict[Tuple[int, int], DetectorState]" = OrderedDict()
+
+
+def _load_detector(token: Tuple[int, int], blob: bytes) -> DetectorState:
+    detector = _detector_cache.get(token)
+    if detector is None:
+        detector = pickle.loads(blob)
+        _detector_cache[token] = detector
+        while len(_detector_cache) > DETECTOR_CACHE_SIZE:
+            _detector_cache.popitem(last=False)
+    else:
+        _detector_cache.move_to_end(token)
+    return detector
+
+
+def detector_cache_info() -> Dict[str, int]:
+    """Size of this process's detector cache (used by tests)."""
+    return {"entries": len(_detector_cache)}
+
+
+def detect_slice(
+    token: Tuple[int, int],
+    blob: bytes,
+    requests: Sequence[DetectRequest],
+) -> List[DetectResponse]:
+    """Run the alerter tables over a slice of a batch (worker process).
+
+    ``blob`` is the pickled :class:`DetectorState` for ``token``; it is
+    unpickled at most once per version per worker.
+    """
+    detector = _load_detector(token, blob)
+    responses: List[DetectResponse] = []
+    for request in requests:
+        try:
+            detection = detector.detect_events(request.fetched)
+        except Exception as exc:  # noqa: BLE001 — re-raised in order by alert
+            responses.append(
+                DetectResponse(request.index, error=portable_error(exc))
+            )
+        else:
+            responses.append(
+                DetectResponse(request.index, detection=detection)
+            )
+    return responses

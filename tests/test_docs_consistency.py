@@ -76,6 +76,62 @@ class TestExperimentsDocument:
             assert experiment in experiments
 
 
+class TestPipelineDocument:
+    def test_every_registered_executor_documented(self):
+        from repro.pipeline.executors import available
+
+        doc = read("docs/PIPELINE.md")
+        for name in available():
+            assert f"`{name}`" in doc, f"executor {name} missing"
+
+    def test_migration_table_present(self):
+        doc = read("docs/PIPELINE.md")
+        assert "## Migration from the pre-registry API" in doc
+        for old, new in [
+            ("make_executor", "repro.pipeline.executors.create"),
+            ("--executor threaded --batch-size 64", "threaded:batch=64"),
+            ("EXECUTORS", "available()"),
+        ]:
+            assert old in doc and new in doc, f"migration row {old!r} missing"
+
+    def test_documented_spec_examples_parse(self):
+        from repro.pipeline.executors import ExecutorSpec
+
+        doc = read("docs/PIPELINE.md")
+        specs = re.findall(
+            r"^((?:serial|threaded|process|sharded)(?::[a-z_]+=\w+"
+            r"(?:,[a-z_]+=\w+)*)?)$",
+            doc,
+            re.MULTILINE,
+        )
+        assert len(specs) >= 4, "spec grammar examples missing"
+        for text in specs:
+            spec = ExecutorSpec.parse(text)
+            assert spec.render() == text
+
+    def test_documented_spec_keys_match_parser(self):
+        from repro.pipeline.executors import _DETECT_VALUES, _INT_KEYS
+
+        doc = read("docs/PIPELINE.md")
+        for key in set(_INT_KEYS) | {"detect"}:
+            assert f"`{key}`" in doc, f"spec key {key} undocumented"
+        for value in _DETECT_VALUES:
+            assert value in doc
+
+    def test_ingest_metrics_mentioned(self):
+        from repro.observability.names import (
+            COUNTER_FRONTEND_FETCHES,
+            COUNTER_INGEST_BACKPRESSURE_WAITS,
+        )
+
+        doc = read("docs/PIPELINE.md")
+        assert COUNTER_INGEST_BACKPRESSURE_WAITS in doc
+        assert COUNTER_FRONTEND_FETCHES in doc
+
+    def test_readme_links_pipeline_doc(self):
+        assert "docs/PIPELINE.md" in read("README.md")
+
+
 class TestObservabilityDocument:
     #: Backticked dotted lowercase tokens are metric-shaped; module paths
     #: (``repro...``) and file names are not metric references.

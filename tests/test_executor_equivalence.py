@@ -8,6 +8,7 @@ notification multiset and counters, at every batch size.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -15,6 +16,7 @@ from repro.clock import SimulatedClock
 from repro.pipeline import (
     Fetch,
     HTML_PAGE,
+    ProcessExecutor,
     SubscriptionSystem,
     ThreadedExecutor,
 )
@@ -94,3 +96,65 @@ def test_sharded_matches_serial(stream, batch_size):
     serial = run(stream, batch_size, executor="serial", shards=3)
     sharded = run(stream, batch_size, executor="sharded", shards=3)
     assert sharded == serial
+
+
+@pytest.fixture(scope="module")
+def process_executor():
+    # One pool for every example: ProcessExecutor keeps no per-system
+    # state beyond the version-keyed detector blob cache, and (chain
+    # serial, version) tokens never collide across systems.
+    executor = ProcessExecutor(workers=3)
+    yield executor
+    executor.close()
+
+
+@settings(max_examples=10, deadline=None)
+@given(stream=streams, batch_size=batch_sizes)
+def test_process_matches_serial(stream, batch_size, process_executor):
+    serial = run(stream, batch_size, executor="serial")
+    process = run(stream, batch_size, executor=process_executor)
+    assert process == serial
+
+
+def _faulted_crawl_stream():
+    """A deterministic fetch list from a crawl under 10% injected faults."""
+    from repro.clock import SECONDS_PER_DAY
+    from repro.faults import CircuitBreaker, FaultInjector, FaultPlan
+    from repro.webworld import ChangeModel, SimulatedCrawler, SiteGenerator
+
+    clock = SimulatedClock(990_000_000.0)
+    injector = FaultInjector(FaultPlan.transient_only(0.1, seed=5))
+    generator = SiteGenerator(seed=5)
+    crawler = SimulatedCrawler(
+        clock=clock,
+        change_model=ChangeModel(seed=6),
+        seed=7,
+        fault_injector=injector,
+        breaker_factory=lambda: CircuitBreaker(failure_threshold=50),
+    )
+    for i in range(6):
+        crawler.add_xml_page(
+            f"http://www.shop{i}.example/catalog.xml",
+            generator.catalog(products=4),
+            change_probability=0.7,
+        )
+    fetches = []
+    for _ in range(4):
+        fetches.extend(crawler.due_fetches())
+        clock.advance(SECONDS_PER_DAY)
+    # Mix in pages the loader must reject so the error-slot path is
+    # exercised alongside the fault-injected fetch sequence.
+    fetches.insert(3, Fetch("http://www.shop0.example/bad.xml", "<r><boom>"))
+    fetches.append(Fetch("http://www.shop1.example/bad.xml", "<nope"))
+    return fetches
+
+
+def test_executors_agree_under_injected_faults(process_executor):
+    stream = _faulted_crawl_stream()
+    assert len(stream) > 10
+    serial = run(stream, 5, executor="serial")
+    threaded = run(stream, 5, executor=ThreadedExecutor(max_workers=4))
+    process = run(stream, 5, executor=process_executor)
+    assert serial["documents_rejected"] == 2
+    assert threaded == serial
+    assert process == serial

@@ -120,7 +120,13 @@ class TestChunked:
             list(chunked([], 0))
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestMakeExecutor:
+    """The deprecated shim still resolves everything it used to.
+
+    (The warning itself is pinned in test_ingest_api.py.)
+    """
+
     def test_names_resolve(self):
         assert isinstance(make_executor("serial"), SerialExecutor)
         assert isinstance(make_executor("threaded"), ThreadedExecutor)

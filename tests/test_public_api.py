@@ -7,6 +7,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.alerters",
+    "repro.api",
     "repro.core",
     "repro.diff",
     "repro.faults",
