@@ -21,6 +21,9 @@ The groups:
   :func:`register_executor`, :func:`available_executors`, and the
   executor classes themselves for direct construction;
 * **resilience** — fault injection, retry, breaker and dead-letter types;
+* **recovery** — :class:`RecoveryManager`, :class:`CrashPoint` and the
+  kill-point harness behind ``SubscriptionSystem.enable_recovery`` /
+  ``recover_runtime`` (see ``docs/ROBUSTNESS.md``);
 * **observability** — the metrics registry types.
 
 Modules under ``repro.*`` remain importable directly, but this facade is
@@ -35,18 +38,22 @@ from __future__ import annotations
 from .clock import SimulatedClock, WallClock
 from .errors import (
     PipelineError,
+    RecoveryError,
     ReproError,
     SubscriptionSyntaxError,
     XMLSyntaxError,
 )
 from .faults import (
+    KILL_POINTS,
     CircuitBreaker,
+    CrashPoint,
     DeadLetterEntry,
     DeadLetterQueue,
     FaultInjector,
     FaultPlan,
     RetryPolicy,
 )
+from .recovery import RecoveryManager, RuntimeJournal
 from .observability import MetricsRegistry, NULL_REGISTRY, NullRegistry
 from .pipeline import (
     AsyncFetchFrontend,
@@ -103,6 +110,12 @@ __all__ = [
     "CircuitBreaker",
     "DeadLetterQueue",
     "DeadLetterEntry",
+    # recovery
+    "RecoveryManager",
+    "RuntimeJournal",
+    "RecoveryError",
+    "CrashPoint",
+    "KILL_POINTS",
     # observability + substrate
     "MetricsRegistry",
     "NullRegistry",

@@ -8,6 +8,7 @@ Subcommands::
     repro-monitor stats            run a simulation, emit the metrics snapshot
     repro-monitor match            micro-benchmark the matching engines
     repro-monitor chaos            run a fault-injected simulation (CI smoke)
+    repro-monitor resume           resume a crashed run from its journal
     repro-monitor dlq              inspect / requeue / purge a dead-letter file
 
 ``demo`` and ``stats`` accept ``--metrics-json PATH`` to dump the
@@ -16,6 +17,14 @@ observability snapshot (``system.metrics_snapshot()``) as JSON, and
 seeded transient-fault injector (see docs/ROBUSTNESS.md).  ``chaos``
 is the hardened variant: it fails (exit 1) if any document ends up
 quarantined or any exception escapes the pipeline.
+
+Crash recovery: ``demo`` / ``stats`` / ``chaos`` accept ``--journal
+PATH`` (journal every delivered notification and checkpoint the runtime
+every ``--checkpoint-every`` batches), ``chaos`` additionally accepts
+``--kill POINT[:N]`` to crash deterministically at a named kill point
+(exit 42), and ``resume --journal PATH`` restarts a crashed run from its
+last checkpoint with exactly-once delivery — see docs/ROBUSTNESS.md,
+"Crash recovery & exactly-once delivery".
 
 Also runnable as ``python -m repro ...``.
 """
@@ -80,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also dump system.metrics_snapshot() as JSON to PATH",
     )
+    _add_recovery_arguments(demo)
     demo.set_defaults(handler=_cmd_demo)
 
     stats = commands.add_parser(
@@ -105,6 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the snapshot to PATH instead of stdout",
     )
+    _add_recovery_arguments(stats)
     stats.set_defaults(handler=_cmd_stats)
 
     chaos = commands.add_parser(
@@ -131,7 +142,28 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="dump any quarantined documents to PATH for post-mortem",
     )
+    _add_recovery_arguments(chaos)
+    chaos.add_argument(
+        "--kill",
+        metavar="POINT[:N]",
+        default=None,
+        help="crash deterministically at the Nth hit (default: 1st) of a"
+        " named kill point — post-fetch, post-match, pre-deliver,"
+        " post-deliver or mid-checkpoint; exits 42 (requires --journal)",
+    )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    resume = commands.add_parser(
+        "resume",
+        help="resume a crashed --journal run from its last checkpoint",
+    )
+    resume.add_argument(
+        "--journal",
+        metavar="PATH",
+        required=True,
+        help="journal path the crashed run was started with",
+    )
+    resume.set_defaults(handler=_cmd_resume)
 
     dlq = commands.add_parser(
         "dlq", help="inspect or replay a dead-letter queue JSON file"
@@ -197,6 +229,25 @@ def _add_executor_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_recovery_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="enable crash recovery: journal delivered notifications to"
+        " PATH and checkpoint the runtime (subscriptions persist to"
+        " PATH.subs); resume a crashed run with 'resume --journal PATH'",
+    )
+    subparser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="checkpoint the runtime every N ingested batches"
+        " (default: 64)",
+    )
+
+
 def _add_fault_arguments(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--fault-rate",
@@ -249,39 +300,38 @@ def _cmd_fmt(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_simulation(
-    sites: int, days: int, seed: int, shards: int = 1,
-    shard_mode: str = "flow", executor: Optional[str] = None,
-    batch_size: Optional[int] = None, workers: Optional[int] = None,
-    queue_depth: Optional[int] = None, fault_rate: float = 0.0,
-    fault_seed: int = 0,
+_SIM_START = 990_000_000.0
+
+_SIM_SOURCE = """
+subscription Demo
+monitoring NewCam
+select X
+from self//Product X
+where URL extends "http://www.shop"
+  and new Product contains "camera"
+report when count >= 3
+"""
+
+
+def _build_world(
+    sites: int, seed: int, spec, shards: int = 1,
+    shard_mode: str = "flow", fault_rate: float = 0.0,
+    fault_seed: int = 0, database=None, populate: bool = True,
 ):
-    """The shared demo/stats/chaos scenario: crawl ``sites`` for ``days``.
+    """The shared demo/stats/chaos world: one system + one crawler.
 
-    ``executor`` is a spec string (``process:workers=4,batch=64``);
-    ``batch_size`` / ``workers`` / ``queue_depth`` are the individual
-    flag overrides, which win over the spec's own fields (see
-    :mod:`repro.pipeline.executors` for the precedence rules).
-
-    With ``fault_rate`` > 0 the crawl runs under a seeded transient-only
-    :class:`~repro.faults.FaultInjector` with a shared dead-letter queue,
-    and the stream is drained hourly (instead of daily) so backoff
-    retries land before each page's next nominal fetch.  Returns
-    ``(system, crawler)``; the dead-letter queue (or ``None``) hangs off
-    ``system.dead_letters``.
+    With ``populate=False`` the page table and subscription are left
+    empty — the ``resume`` path restores both from the subscription WAL
+    and the runtime checkpoint instead of re-creating them.
     """
     from .faults import DeadLetterQueue, FaultInjector, FaultPlan
     from .pipeline import SubscriptionSystem
-    from .pipeline.executors import resolve
     from .webworld import ChangeModel, SimulatedCrawler, SiteGenerator
 
-    spec = resolve(executor).merged(
-        workers=workers, batch=batch_size, queue=queue_depth
-    )
-    clock = SimulatedClock(990_000_000.0)
+    clock = SimulatedClock(_SIM_START)
     system = SubscriptionSystem(
         clock=clock, shards=shards, shard_mode=shard_mode,
-        executor=spec,
+        executor=spec, database=database,
     )
     injector = None
     dead_letters = None
@@ -294,39 +344,96 @@ def _run_simulation(
             FaultPlan.transient_only(fault_rate, seed=fault_seed),
             metrics=metrics,
         )
-    generator = SiteGenerator(seed=seed)
     crawler = SimulatedCrawler(
         clock=clock, change_model=ChangeModel(seed=seed + 1),
         seed=seed + 2, fault_injector=injector,
         dead_letters=dead_letters, metrics=metrics,
     )
-    for i in range(sites):
-        crawler.add_xml_page(
-            f"http://www.shop{i}.example/catalog/products.xml",
-            generator.catalog(products=8),
-            change_probability=0.7,
-        )
-    system.subscribe(
-        """
-        subscription Demo
-        monitoring NewCam
-        select X
-        from self//Product X
-        where URL extends "http://www.shop"
-          and new Product contains "camera"
-        report when count >= 3
-        """,
-        owner_email="demo@example.org",
+    if populate:
+        generator = SiteGenerator(seed=seed)
+        for i in range(sites):
+            crawler.add_xml_page(
+                f"http://www.shop{i}.example/catalog/products.xml",
+                generator.catalog(products=8),
+                change_probability=0.7,
+            )
+        system.subscribe(_SIM_SOURCE, owner_email="demo@example.org")
+    return system, crawler
+
+
+def _drive_world(system, crawler, end_time: float, step: float) -> None:
+    """Crawl-and-advance until the simulated clock reaches ``end_time``.
+
+    A ``while clock < end`` loop (not ``for day in range(days)``) so a
+    resumed run, whose clock starts at the restored checkpoint, covers
+    exactly the remaining window.
+    """
+    while system.clock.now() < end_time:
+        system.run_stream(crawler.due_fetches())
+        system.advance_time(min(step, end_time - system.clock.now()))
+
+
+def _run_simulation(
+    sites: int, days: int, seed: int, shards: int = 1,
+    shard_mode: str = "flow", executor: Optional[str] = None,
+    batch_size: Optional[int] = None, workers: Optional[int] = None,
+    queue_depth: Optional[int] = None, fault_rate: float = 0.0,
+    fault_seed: int = 0, journal: Optional[str] = None,
+    checkpoint_every: int = 64,
+):
+    """The shared demo/stats/chaos scenario: crawl ``sites`` for ``days``.
+
+    ``executor`` is a spec string (``process:workers=4,batch=64``);
+    ``batch_size`` / ``workers`` / ``queue_depth`` are the individual
+    flag overrides, which win over the spec's own fields (see
+    :mod:`repro.pipeline.executors` for the precedence rules).
+
+    With ``fault_rate`` > 0 the crawl runs under a seeded transient-only
+    :class:`~repro.faults.FaultInjector` with a shared dead-letter queue,
+    and the stream is drained hourly (instead of daily) so backoff
+    retries land before each page's next nominal fetch.
+
+    With ``journal`` the run is crash-recoverable: subscriptions persist
+    to ``journal + ".subs"``, every delivered notification is journaled,
+    and the runtime checkpoints every ``checkpoint_every`` batches; the
+    scenario configuration rides inside each checkpoint so ``resume
+    --journal`` can rebuild the world without re-stating the flags.
+    Returns ``(system, crawler)``; the dead-letter queue (or ``None``)
+    hangs off ``system.dead_letters``.
+    """
+    from .minisql import Database
+    from .pipeline.executors import resolve
+
+    spec = resolve(executor).merged(
+        workers=workers, batch=batch_size, queue=queue_depth
     )
+    step = 3600.0 if fault_rate > 0.0 else 86_400.0
     if fault_rate > 0.0:
-        hours = days * 24 + 12  # half-day drain so in-flight retries land
-        for _ in range(hours):
-            system.run_stream(crawler.due_fetches())
-            system.advance_time(3600)
+        # half-day drain so in-flight retries land
+        end_time = _SIM_START + (days * 24 + 12) * 3600.0
     else:
-        for _ in range(days):
-            system.run_stream(crawler.due_fetches())
-            system.advance_days(1)
+        end_time = _SIM_START + days * 86_400.0
+    database = Database(path=journal + ".subs") if journal else None
+    system, crawler = _build_world(
+        sites, seed, spec, shards=shards, shard_mode=shard_mode,
+        fault_rate=fault_rate, fault_seed=fault_seed, database=database,
+    )
+    if journal:
+        system.enable_recovery(
+            journal,
+            crawler=crawler,
+            checkpoint_every=checkpoint_every,
+            metadata={
+                "cli": {
+                    "sites": sites, "seed": seed, "shards": shards,
+                    "shard_mode": shard_mode, "executor": spec.render(),
+                    "fault_rate": fault_rate, "fault_seed": fault_seed,
+                    "checkpoint_every": checkpoint_every,
+                    "end_time": end_time, "step": step,
+                }
+            },
+        )
+    _drive_world(system, crawler, end_time, step)
     return system, crawler
 
 
@@ -358,6 +465,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         executor=args.executor, batch_size=args.batch_size,
         workers=args.workers, queue_depth=args.queue_depth,
         fault_rate=args.fault_rate, fault_seed=args.fault_seed,
+        journal=args.journal, checkpoint_every=args.checkpoint_every,
     )
     stats = system.processor.stats
     print(f"{args.sites} sites crawled over {args.days} simulated days")
@@ -382,6 +490,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         executor=args.executor, batch_size=args.batch_size,
         workers=args.workers, queue_depth=args.queue_depth,
         fault_rate=args.fault_rate, fault_seed=args.fault_seed,
+        journal=args.journal, checkpoint_every=args.checkpoint_every,
     )
     _write_dlq_json(system, args.dlq_json)
     if args.metrics_json:
@@ -404,16 +513,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     """
     import traceback
 
+    from .faults import CrashPoint, KILL_POINTS, install
+
     if args.fault_rate <= 0:
         print("error: chaos requires --fault-rate > 0", file=sys.stderr)
         return 2
+    if args.kill is not None:
+        if not args.journal:
+            print("error: --kill requires --journal", file=sys.stderr)
+            return 2
+        point, _, hits = args.kill.partition(":")
+        if point not in KILL_POINTS:
+            print(
+                f"error: unknown kill point {point!r}"
+                f" (choose from {', '.join(KILL_POINTS)})",
+                file=sys.stderr,
+            )
+            return 2
+        install(point, at=int(hits) if hits else 1)
     try:
         system, crawler = _run_simulation(
             args.sites, args.days, args.seed,
             executor=args.executor, batch_size=args.batch_size,
             workers=args.workers, queue_depth=args.queue_depth,
             fault_rate=args.fault_rate, fault_seed=args.fault_seed,
+            journal=args.journal, checkpoint_every=args.checkpoint_every,
         )
+    except CrashPoint as crash:
+        print(
+            f"chaos: crashed at kill point {crash.point}"
+            f" (hit {crash.hit}); resume with:"
+            f" repro-monitor resume --journal {args.journal}"
+        )
+        return 42
     except Exception:
         traceback.print_exc()
         print("chaos: FAILED (exception escaped the pipeline)")
@@ -438,6 +570,70 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         return 1
     print("chaos: OK (all injected faults absorbed)")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Resume a crashed ``--journal`` run from its last checkpoint.
+
+    Rebuilds the world from the scenario configuration stored inside the
+    checkpoint, recovers the subscription database from its WAL and the
+    runtime from the journal, then drives the remaining simulated window.
+    Deliveries already journaled before the crash are recognised and
+    deduplicated (``recovery.deduped``), so the journal ends exactly as a
+    crash-free run's would.
+    """
+    from .minisql import Database
+    from .minisql.wal import read_snapshot
+    from .pipeline.executors import ExecutorSpec
+
+    snapshot = read_snapshot(args.journal)
+    if snapshot is None:
+        print(
+            f"error: no checkpoint found at {args.journal}.snapshot",
+            file=sys.stderr,
+        )
+        return 1
+    config = (snapshot.get("state") or {}).get("metadata", {}).get("cli")
+    if config is None:
+        print(
+            "error: this journal was not written by the CLI (no scenario"
+            " configuration in its checkpoint)",
+            file=sys.stderr,
+        )
+        return 1
+    database = Database.recover(args.journal + ".subs")
+    system, crawler = _build_world(
+        config["sites"], config["seed"],
+        ExecutorSpec.parse(config["executor"]),
+        shards=config["shards"], shard_mode=config["shard_mode"],
+        fault_rate=config["fault_rate"], fault_seed=config["fault_seed"],
+        database=database, populate=False,
+    )
+    manager = system.recover_runtime(
+        args.journal,
+        crawler=crawler,
+        checkpoint_every=config["checkpoint_every"],
+    )
+    resumed_from = system.clock.now()
+    print(
+        f"resume: checkpoint at t={resumed_from:.0f}"
+        f" ({manager.replayed} journaled deliveries to regenerate)"
+    )
+    _drive_world(system, crawler, config["end_time"], config["step"])
+    stats = system.processor.stats
+    print(f"  documents fed  : {system.documents_fed}")
+    print(f"  notifications  : {stats.notifications_sent}")
+    print(f"  deliveries     : {len(manager.seen)} journaled")
+    print(f"  replayed       : {manager.replayed}")
+    print(f"  deduplicated   : {manager.deduped}")
+    if manager.deduped != manager.replayed:
+        print(
+            f"resume: FAILED (replayed {manager.replayed} !="
+            f" deduplicated {manager.deduped} — exactly-once violated)"
+        )
+        return 1
+    print("resume: OK (exactly-once delivery held)")
     return 0
 
 

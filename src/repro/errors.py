@@ -117,6 +117,11 @@ class PipelineError(ReproError):
     for violated crawler invariants (a page table entry with no content)."""
 
 
+class RecoveryError(ReproError):
+    """Raised by the crash-recovery subsystem (``repro.recovery``) for
+    unusable journals, checkpoint/runtime mismatches and resume misuse."""
+
+
 class FetchError(ReproError):
     """Base class for failed page fetches (``repro.faults``).
 

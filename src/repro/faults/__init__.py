@@ -15,6 +15,12 @@ This subsystem supplies both halves of that story:
   from consuming fetch budget, and a bounded quarantine for poison
   documents.
 
+A third half rides along for the crash-recovery subsystem
+(:mod:`repro.recovery`): the **kill-point harness**
+(:mod:`repro.faults.killpoints`) — deterministic process "crashes"
+(:class:`CrashPoint`) armed at named pipeline points (:data:`KILL_POINTS`)
+so recovery can be property-tested at every dangerous instant.
+
 Everything emits canonical metrics (``faults.injected{kind}``,
 ``retry.attempts``, ``breaker.state_changes{to}``, ``dlq.depth``,
 ``dlq.quarantined{source}``) through the shared
@@ -28,20 +34,44 @@ from .dlq import (
     SOURCE_PIPELINE,
 )
 from .injector import FAULT_KINDS, FaultInjector, FaultPlan, TRANSIENT_KINDS
+from .killpoints import (
+    CrashPoint,
+    KILL_POINT_MID_CHECKPOINT,
+    KILL_POINT_POST_DELIVER,
+    KILL_POINT_POST_FETCH,
+    KILL_POINT_POST_MATCH,
+    KILL_POINT_PRE_DELIVER,
+    KILL_POINTS,
+    armed_point,
+    clear,
+    install,
+    maybe_kill,
+)
 from .retry import CLOSED, CircuitBreaker, HALF_OPEN, OPEN, RetryPolicy
 
 __all__ = [
     "CLOSED",
     "CircuitBreaker",
+    "CrashPoint",
     "DeadLetterEntry",
     "DeadLetterQueue",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
     "HALF_OPEN",
+    "KILL_POINTS",
+    "KILL_POINT_MID_CHECKPOINT",
+    "KILL_POINT_POST_DELIVER",
+    "KILL_POINT_POST_FETCH",
+    "KILL_POINT_POST_MATCH",
+    "KILL_POINT_PRE_DELIVER",
     "OPEN",
     "RetryPolicy",
     "SOURCE_CRAWL",
     "SOURCE_PIPELINE",
     "TRANSIENT_KINDS",
+    "armed_point",
+    "clear",
+    "install",
+    "maybe_kill",
 ]

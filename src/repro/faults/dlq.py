@@ -17,6 +17,7 @@ gauge and the ``dlq.quarantined{source=...}`` counter.
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Deque, Dict, Iterator, List, Optional
@@ -122,15 +123,28 @@ class DeadLetterQueue:
     # -- persistence -------------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Write the queue as a JSON document (CLI interchange format)."""
+        """Write the queue as a JSON document (CLI interchange format).
+
+        Atomic: the JSON is written to a sibling temp file, fsynced and
+        ``os.replace``d over ``path``, so a crash mid-save leaves either
+        the old file or the new one — never a truncated hybrid.
+        """
         payload = {
             "capacity": self.capacity,
             "dropped": self.dropped,
             "entries": [entry.to_dict() for entry in self._entries],
         }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        temp_path = path + ".tmp"
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        finally:
+            if os.path.exists(temp_path):
+                os.remove(temp_path)
 
     @classmethod
     def load(

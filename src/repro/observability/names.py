@@ -70,6 +70,15 @@ COUNTER_DLQ_QUARANTINED = "dlq.quarantined"  # label: source
 COUNTER_INGEST_BACKPRESSURE_WAITS = "ingest.backpressure_waits"
 COUNTER_FRONTEND_FETCHES = "frontend.fetches"
 
+# Crash-recovery counters (``repro.recovery``): lazily interned — they
+# appear only when recovery is enabled on a system (or a process worker
+# hits its watchdog), so zero-recovery snapshots are byte-identical to
+# systems without a journal.
+COUNTER_RECOVERY_CHECKPOINTS = "recovery.checkpoints"
+COUNTER_RECOVERY_REPLAYED = "recovery.replayed"
+COUNTER_RECOVERY_DEDUPED = "recovery.deduped"
+COUNTER_EXECUTOR_WATCHDOG_TIMEOUTS = "executor.watchdog_timeouts"
+
 COUNTER_NAMES: Tuple[str, ...] = (
     COUNTER_REPOSITORY_OUTCOMES,
     COUNTER_ALERTS_BUILT,
@@ -87,6 +96,10 @@ COUNTER_NAMES: Tuple[str, ...] = (
     COUNTER_DLQ_QUARANTINED,
     COUNTER_INGEST_BACKPRESSURE_WAITS,
     COUNTER_FRONTEND_FETCHES,
+    COUNTER_RECOVERY_CHECKPOINTS,
+    COUNTER_RECOVERY_REPLAYED,
+    COUNTER_RECOVERY_DEDUPED,
+    COUNTER_EXECUTOR_WATCHDOG_TIMEOUTS,
 )
 
 # -- gauges ------------------------------------------------------------------

@@ -40,7 +40,12 @@ import os
 import pickle
 import threading
 import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -49,6 +54,7 @@ from ..errors import PipelineError
 from ..observability.metrics import MetricsRegistry
 from ..observability.names import (
     COUNTER_EXECUTOR_FALLBACKS,
+    COUNTER_EXECUTOR_WATCHDOG_TIMEOUTS,
     STAGE_EXECUTOR_STAGE,
     stage_latency_name,
 )
@@ -372,7 +378,13 @@ class ProcessExecutor(BatchExecutor):
     A broken pool (a worker killed mid-batch) degrades the sweep to the
     serial path — counted under ``executor.fallbacks{executor=process}``
     — and the dead pool is discarded so the next batch starts a fresh
-    one.
+    one.  ``watchdog`` (seconds) bounds how long the parent waits for any
+    single worker future: a hung worker — stuck rather than dead, which a
+    broken-pool check never notices — times the sweep out, the batch
+    degrades to the serial path exactly like pool death (counted under
+    both ``executor.fallbacks`` and ``executor.watchdog_timeouts``), and
+    the pool with the stuck process is discarded.  ``None`` disables the
+    watchdog (the pre-existing wait-forever behaviour).
     """
 
     name = "process"
@@ -381,10 +393,16 @@ class ProcessExecutor(BatchExecutor):
         self,
         workers: Optional[int] = None,
         detect_locally: bool = False,
+        watchdog: Optional[float] = None,
     ):
         if workers is None:
             workers = max(2, min(8, os.cpu_count() or 2))
+        if watchdog is not None and watchdog <= 0:
+            raise PipelineError(
+                f"watchdog timeout must be positive, got {watchdog}"
+            )
         self.workers = max(1, int(workers))
+        self.watchdog = watchdog
         self.detect_locally = bool(detect_locally)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
@@ -449,7 +467,7 @@ class ProcessExecutor(BatchExecutor):
             for response in worker_fn(*extra_args, slices[0]):
                 apply_fn(response)
             for future in futures:
-                for response in future.result():
+                for response in future.result(timeout=self.watchdog):
                     apply_fn(response)
         except BaseException:
             for future in futures:
@@ -566,9 +584,17 @@ class ProcessExecutor(BatchExecutor):
         return tasks
 
     def _degrade(self, system: Any, exc: Exception) -> None:
-        """Count one degraded batch; discard the pool if it died."""
+        """Count one degraded batch; discard the pool if it died or hung."""
         self._count_fallback(system)
-        if isinstance(exc, BrokenExecutor):
+        if isinstance(exc, FuturesTimeoutError):
+            # A hung worker: the future never completed within the
+            # watchdog.  The pool still holds the stuck process, so it is
+            # discarded wholesale — the next batch starts a fresh one.
+            system.metrics.counter(
+                COUNTER_EXECUTOR_WATCHDOG_TIMEOUTS, executor=self.name
+            ).inc()
+            self._discard_pool()
+        elif isinstance(exc, BrokenExecutor):
             self._discard_pool()
 
 

@@ -18,7 +18,9 @@ Grammar: ``name[:key=value,...]`` where the keys are
 * ``batch`` (alias ``batch_size``) — documents per stream batch;
 * ``queue`` (alias ``queue_depth``) — bound of the ingest queue between
   the fetch front-end and the executor (backpressure);
-* ``detect`` — ``local`` or ``workers``; process executor only.
+* ``detect`` — ``local`` or ``workers``; process executor only;
+* ``watchdog`` — seconds before a hung worker future times the sweep
+  out (degrading the batch to the serial path); process executor only.
 
 Precedence, everywhere a spec can meet another source of the same
 setting (most specific wins):
@@ -66,6 +68,7 @@ _INT_KEYS = {
     "batch_size": "batch",
     "queue": "queue",
     "queue_depth": "queue",
+    "watchdog": "watchdog",
 }
 
 _DETECT_VALUES = ("local", "workers")
@@ -80,6 +83,7 @@ class ExecutorSpec:
     batch: Optional[int] = None
     queue: Optional[int] = None
     detect: Optional[str] = None
+    watchdog: Optional[int] = None
 
     @classmethod
     def parse(cls, text: str) -> "ExecutorSpec":
@@ -166,14 +170,23 @@ def _reject_detect(spec: ExecutorSpec) -> None:
         )
 
 
+def _reject_watchdog(spec: ExecutorSpec) -> None:
+    if spec.watchdog is not None:
+        raise PipelineError(
+            f"executor {spec.name!r} takes no watchdog= option"
+        )
+
+
 def _build_serial(spec: ExecutorSpec) -> BatchExecutor:
     _reject_workers(spec)
     _reject_detect(spec)
+    _reject_watchdog(spec)
     return SerialExecutor()
 
 
 def _build_threaded(spec: ExecutorSpec) -> BatchExecutor:
     _reject_detect(spec)
+    _reject_watchdog(spec)
     return ThreadedExecutor(max_workers=spec.workers)
 
 
@@ -181,12 +194,14 @@ def _build_process(spec: ExecutorSpec) -> BatchExecutor:
     return ProcessExecutor(
         workers=spec.workers,
         detect_locally=spec.detect == "local",
+        watchdog=spec.watchdog,
     )
 
 
 def _build_sharded(spec: ExecutorSpec) -> BatchExecutor:
     _reject_workers(spec)
     _reject_detect(spec)
+    _reject_watchdog(spec)
     return ShardFanoutExecutor()
 
 

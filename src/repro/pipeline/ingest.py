@@ -32,7 +32,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional
 
-from ..errors import PipelineError
+from ..errors import PipelineError, RecoveryError
+from ..faults.killpoints import KILL_POINT_POST_FETCH, maybe_kill
 from ..observability.names import (
     COUNTER_INGEST_BACKPRESSURE_WAITS,
     GAUGE_EXECUTOR_QUEUE_DEPTH,
@@ -289,6 +290,23 @@ class IngestSession:
         )
         return self._run_with_producer(frontend.pump)
 
+    def resume(self, stream: Iterable[Fetch]) -> List[FeedResult]:
+        """Continue a recovered system's ingestion from its checkpoint.
+
+        Identical to :meth:`run`, but guarded: the system must carry a
+        :class:`~repro.recovery.RecoveryManager` (attach one with
+        ``SubscriptionSystem.recover_runtime``), so the regenerated
+        post-checkpoint deliveries dedup against the journal instead of
+        being journaled — and therefore delivered — twice.
+        """
+        if getattr(self.system, "recovery", None) is None:
+            raise RecoveryError(
+                "resume() needs a recovered system: call"
+                " SubscriptionSystem.recover_runtime() first (or use"
+                " run() for a fresh stream)"
+            )
+        return self.run(stream)
+
     def _run_with_producer(
         self, produce: Callable[[BoundedFetchQueue], Any]
     ) -> List[FeedResult]:
@@ -307,6 +325,12 @@ class IngestSession:
         thread = threading.Thread(
             target=feeder, name="repro-ingest-feeder", daemon=True
         )
+        recovery = getattr(self.system, "recovery", None)
+        if recovery is not None:
+            # Checkpoints are deferred while the stream is live: the
+            # feeder thread mutates crawler/frontend state concurrently,
+            # so mid-stream runtime snapshots would not be sound.
+            recovery.stream_started()
         thread.start()
         results: List[FeedResult] = []
         batches = 0
@@ -315,6 +339,7 @@ class IngestSession:
                 batch = queue.next_batch(self.batch_size)
                 if batch is None:
                     break
+                maybe_kill(KILL_POINT_POST_FETCH)
                 results.extend(
                     self.system.feed_batch(
                         batch, skip_malformed=self.skip_malformed
@@ -324,8 +349,12 @@ class IngestSession:
         except BaseException:
             queue.cancel()
             thread.join()
+            if recovery is not None:
+                recovery.stream_aborted()
             raise
         thread.join()
+        if recovery is not None:
+            recovery.stream_finished()
         self.last_report = IngestReport(
             documents=len(results),
             batches=batches,

@@ -38,6 +38,7 @@ from ..alerters.context import FetchedDocument
 from ..core.processor import Alert, Notification
 from ..diff.changes import classify_changes
 from ..errors import ReproError
+from ..faults.killpoints import KILL_POINT_POST_MATCH, maybe_kill
 from ..repository.store import FetchOutcome
 from ..xmlstore.nodes import Document
 from ..xmlstore.parser import parse
@@ -215,6 +216,7 @@ def match_stage(system: Any, task: PipelineTask) -> None:
     """MQP complex-event detection (dispatches notification sinks)."""
     if task.alert is not None:
         task.notifications = system.processor.process_alert(task.alert)
+        maybe_kill(KILL_POINT_POST_MATCH)
 
 
 def route_stage(system: Any, task: PipelineTask) -> None:

@@ -222,6 +222,9 @@ class SubscriptionSystem:
             )
         self.queue_bound = int(queue_bound)
         self.dead_letters = dead_letters
+        #: The attached RecoveryManager, if crash recovery is enabled
+        #: (see enable_recovery / recover_runtime).
+        self.recovery: Optional[Any] = None
         # Batch metrics are interned on the first feed_batch call so a
         # system fed only through the single-document path keeps a snapshot
         # free of executor series.
@@ -343,6 +346,8 @@ class SubscriptionSystem:
                     )
             elif task.done:
                 results.append(task.result())
+        if self.recovery is not None:
+            self.recovery.note_batch()
         return results
 
     def run_stream(
@@ -402,6 +407,78 @@ class SubscriptionSystem:
         )
         requarantined = self.documents_rejected - rejected_before
         return (len(results), requarantined)
+
+    # -- crash recovery ------------------------------------------------------------------
+
+    def enable_recovery(
+        self,
+        path: str,
+        crawler: Optional[Any] = None,
+        estimator: Optional[Any] = None,
+        checkpoint_every: int = 64,
+        sync_every: int = 1,
+        metadata: Optional[Any] = None,
+    ):
+        """Make this system crash-consistent: journal every delivered
+        notification to ``path`` (a :class:`~repro.minisql.wal.WriteAheadLog`)
+        and checkpoint the full runtime — reporter buffers, repository,
+        DLQ, and the ``crawler`` / ``estimator`` cursors when given —
+        every ``checkpoint_every`` ingested batches.  An initial
+        checkpoint is written immediately so *any* later crash has a
+        restorable snapshot.  Returns the attached
+        :class:`~repro.recovery.RecoveryManager`.
+        """
+        # Lazy import: repro.recovery reaches back into pipeline modules.
+        from ..recovery import RecoveryManager
+
+        manager = RecoveryManager(
+            self,
+            path,
+            crawler=crawler,
+            estimator=estimator,
+            checkpoint_every=checkpoint_every,
+            sync_every=sync_every,
+            metadata=metadata,
+        )
+        manager.attach()
+        manager.checkpoint()
+        return manager
+
+    def recover_runtime(
+        self,
+        path: str,
+        crawler: Optional[Any] = None,
+        estimator: Optional[Any] = None,
+        checkpoint_every: int = 64,
+        sync_every: int = 1,
+    ):
+        """Rebuild the runtime of a crashed system from its journal.
+
+        Call on a *freshly built* system (typically constructed over
+        ``Database.recover(...)`` so the subscription definitions came
+        back first); this re-registers the persisted subscriptions,
+        restores the checkpointed runtime into this system (and into
+        ``crawler`` / ``estimator`` when given — they must be freshly
+        built with the same configuration as the crashed run), and
+        attaches a :class:`~repro.recovery.RecoveryManager` that dedups
+        the regenerated post-checkpoint deliveries against the journal.
+        Returns the manager; its ``replayed`` counter says how many
+        journaled deliveries the checkpoint had not yet absorbed.
+        """
+        from ..recovery import RecoveryManager
+
+        self.manager.recover()
+        self._subscriptions_gauge.set(self.manager.count())
+        manager = RecoveryManager(
+            self,
+            path,
+            crawler=crawler,
+            estimator=estimator,
+            checkpoint_every=checkpoint_every,
+            sync_every=sync_every,
+        )
+        manager.recover()
+        return manager
 
     # -- observability -------------------------------------------------------------------
 

@@ -1,0 +1,132 @@
+"""The runtime journal: delivered-notification WAL + checkpoint snapshots.
+
+Layout on disk (same machinery as the MiniSQL store,
+:mod:`repro.minisql.wal`):
+
+* ``<path>`` — JSON-lines log, one record per journaled delivery::
+
+      {"op": "deliver", "id": "<sha1-digest>:<occurrence>"}
+
+* ``<path>.snapshot`` — the last checkpoint, written atomically
+  (temp file + ``os.replace``)::
+
+      {"state": {...runtime state...},      # see repro.recovery.state
+       "seen": ["<id>", ...],               # ids delivered before the ckpt
+       "occurrences": {"<digest>": n, ...}, # per-digest delivery counts
+       "checkpoints": k}
+
+A checkpoint writes the snapshot *first*, then truncates the log — a
+crash between the two (the ``mid-checkpoint`` kill point) leaves stale
+pre-snapshot records in the log, which :meth:`RuntimeJournal.load`
+absorbs idempotently: replaying a delivery id already in the snapshot's
+``seen`` set is a no-op.
+
+Exactly-once accounting: ``load`` returns ``replayed`` — the number of
+log ids *not* covered by the snapshot, i.e. deliveries made after the
+last checkpoint.  A resumed run regenerates exactly that window (the
+runtime rewinds to the checkpoint), recomputes the same ids, and dedups
+them against ``seen`` — so ``recovery.deduped == recovery.replayed``
+once the resumed run has caught up, and the journal never holds a
+duplicate id.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..errors import RecoveryError
+from ..faults.killpoints import KILL_POINT_MID_CHECKPOINT, maybe_kill
+from ..minisql.wal import (
+    WriteAheadLog,
+    read_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+
+_OP_DELIVER = "deliver"
+
+
+class RuntimeJournal:
+    """Durable record of deliveries + periodic runtime checkpoints."""
+
+    def __init__(self, path: str, sync_every: int = 1):
+        self.path = path
+        self._wal = WriteAheadLog(path, sync_every=sync_every)
+        #: Cumulative checkpoint count read back by :meth:`load` (so a
+        #: resumed run keeps numbering checkpoints where it left off).
+        self.loaded_checkpoints = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def append_delivery(self, delivery_id: str) -> None:
+        """Journal one delivered-notification id (fsynced per
+        ``sync_every``; the default of 1 makes every delivery durable
+        before the in-memory buffers see it)."""
+        self._wal.append({"op": _OP_DELIVER, "id": delivery_id})
+
+    def checkpoint(
+        self,
+        state: Dict[str, Any],
+        seen: Set[str],
+        occurrences: Dict[str, int],
+        checkpoints: int,
+    ) -> None:
+        """Write a full runtime snapshot, then truncate the log."""
+        write_snapshot(
+            self.path,
+            {
+                "state": state,
+                "seen": sorted(seen),
+                "occurrences": occurrences,
+                "checkpoints": checkpoints,
+            },
+        )
+        maybe_kill(KILL_POINT_MID_CHECKPOINT)
+        self._wal.truncate()
+
+    def close(self) -> None:
+        self._wal.close()
+
+    # -- reading -----------------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.exists(snapshot_path(self.path))
+
+    def load(
+        self,
+    ) -> Tuple[Optional[Dict[str, Any]], Set[str], Dict[str, int], int]:
+        """Read the snapshot and replay the log.
+
+        Returns ``(state, seen, occurrences, replayed)`` where ``state``
+        is the checkpointed runtime (``None`` if no checkpoint was ever
+        written), ``seen`` is the union of the snapshot's delivered ids
+        and the log's, ``occurrences`` comes from the snapshot *only*
+        (log replay must not advance it — the resumed run regenerates
+        the post-checkpoint deliveries and must recompute the same
+        occurrence numbers), and ``replayed`` counts the log ids absent
+        from the snapshot.
+        """
+        snapshot = read_snapshot(self.path)
+        state: Optional[Dict[str, Any]] = None
+        seen: Set[str] = set()
+        occurrences: Dict[str, int] = {}
+        if snapshot is not None:
+            state = snapshot.get("state")
+            self.loaded_checkpoints = int(snapshot.get("checkpoints", 0))
+            seen = set(snapshot.get("seen", []))
+            occurrences = {
+                digest: int(count)
+                for digest, count in snapshot.get("occurrences", {}).items()
+            }
+        replayed = 0
+        for record in self._wal.records():
+            if record.get("op") != _OP_DELIVER:
+                raise RecoveryError(
+                    f"unknown journal record {record!r} in {self.path}"
+                )
+            delivery_id = record["id"]
+            if delivery_id not in seen:
+                seen.add(delivery_id)
+                replayed += 1
+        return state, seen, occurrences, replayed

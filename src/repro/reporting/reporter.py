@@ -99,6 +99,11 @@ class Reporter:
         self.report_query_runner = report_query_runner
         self.stats = ReporterStats()
         self._buffers: Dict[int, _SubscriptionBuffer] = {}
+        #: Crash recovery taps deliveries here (``repro.recovery``); the
+        #: hook fires for every non-empty delivery, before buffering.
+        self.delivery_hook: Optional[
+            Callable[[int, Optional[str], List[ElementNode]], None]
+        ] = None
 
     # -- registration ---------------------------------------------------------
 
@@ -136,6 +141,8 @@ class Reporter:
             )
         if not elements:
             return
+        if self.delivery_hook is not None:
+            self.delivery_hook(subscription_id, query_name, elements)
         now = self.clock.now()
         limit = buffer.registration.atmost_count
         accepted = elements

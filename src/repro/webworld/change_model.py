@@ -40,16 +40,18 @@ class ChangeModel:
         self.rng = random.Random(seed)
         self.rates = rates if rates is not None else ChangeRates()
         #: Builds subtrees for insertions; defaults to catalog products.
+        # The default lives in instance attributes (not a closure) so crash
+        # recovery can checkpoint and restore its generator RNG + serial.
+        self._insert_generator: Optional[SiteGenerator] = None
+        self._insert_serial = 10_000
         if element_factory is None:
-            generator = SiteGenerator(seed=seed + 1)
-            counter = [10_000]
-
-            def default_factory() -> ElementNode:
-                counter[0] += 1
-                return generator.product(counter[0])
-
-            element_factory = default_factory
+            self._insert_generator = SiteGenerator(seed=seed + 1)
+            element_factory = self._default_factory
         self.element_factory = element_factory
+
+    def _default_factory(self) -> ElementNode:
+        self._insert_serial += 1
+        return self._insert_generator.product(self._insert_serial)
 
     def _count(self, expected: float) -> int:
         """Sample an edit count with the given expectation (Bernoulli/int mix)."""

@@ -60,6 +60,24 @@ class PageHistory:
             return None
         return self.total_interval / self.fetches
 
+    def state_dict(self) -> Dict:
+        """JSON-serializable state (crash-recovery checkpoints)."""
+        return {
+            "fetches": self.fetches,
+            "changes": self.changes,
+            "total_interval": self.total_interval,
+            "last_fetch_at": self.last_fetch_at,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict) -> "PageHistory":
+        return cls(
+            fetches=int(state["fetches"]),
+            changes=int(state["changes"]),
+            total_interval=float(state["total_interval"]),
+            last_fetch_at=state["last_fetch_at"],
+        )
+
 
 class ChangeRateEstimator:
     """Per-page Poisson change-rate estimation (changes per day)."""
@@ -75,6 +93,19 @@ class ChangeRateEstimator:
 
     def history(self, url: str) -> Optional[PageHistory]:
         return self._histories.get(url)
+
+    def state_dict(self) -> Dict:
+        """JSON-serializable state (crash-recovery checkpoints)."""
+        return {
+            url: history.state_dict()
+            for url, history in self._histories.items()
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._histories = {
+            url: PageHistory.from_state_dict(entry)
+            for url, entry in state.items()
+        }
 
     def rate_per_day(self, url: str) -> float:
         """Estimated changes/day; the default until evidence accumulates."""

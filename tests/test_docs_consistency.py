@@ -215,6 +215,33 @@ class TestRobustnessDocument:
         assert "repro chaos" in workflow
         assert "--fault-rate" in workflow
 
+    def test_recovery_section_documents_metrics_and_kill_points(self):
+        from repro.faults import KILL_POINTS
+        from repro.observability.names import (
+            COUNTER_EXECUTOR_WATCHDOG_TIMEOUTS,
+            COUNTER_RECOVERY_CHECKPOINTS,
+            COUNTER_RECOVERY_DEDUPED,
+            COUNTER_RECOVERY_REPLAYED,
+        )
+
+        doc = read("docs/ROBUSTNESS.md")
+        assert "Crash recovery & exactly-once delivery" in doc
+        for name in (
+            COUNTER_RECOVERY_CHECKPOINTS,
+            COUNTER_RECOVERY_REPLAYED,
+            COUNTER_RECOVERY_DEDUPED,
+            COUNTER_EXECUTOR_WATCHDOG_TIMEOUTS,
+        ):
+            assert name in doc, f"{name} missing from ROBUSTNESS.md"
+        for point in KILL_POINTS:
+            assert f"`{point}`" in doc, f"kill point {point} undocumented"
+
+    def test_resume_command_in_ci_workflow(self):
+        workflow = read(".github/workflows/ci.yml")
+        assert "repro resume" in workflow
+        assert "--kill" in workflow
+        assert "--journal" in workflow
+
 
 class TestLanguageReference:
     def test_grammar_examples_parse(self):

@@ -8,6 +8,8 @@ JSON persistence used by the ``repro-monitor dlq`` CLI.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.clock import SimulatedClock
@@ -318,6 +320,32 @@ class TestDeadLetterQueue:
         assert [e.to_dict() for e in loaded] == [
             e.to_dict() for e in queue
         ]
+
+    def test_save_is_atomic_under_a_mid_write_crash(self, tmp_path, monkeypatch):
+        """A crash mid-save must leave the old file intact — never a
+        truncated hybrid, never a stray temp file."""
+        import json as json_module
+
+        path = str(tmp_path / "dlq.json")
+        queue = DeadLetterQueue(capacity=3)
+        queue.push(self.entry(1))
+        queue.save(path)
+        before = open(path, encoding="utf-8").read()
+
+        queue.push(self.entry(2, source=SOURCE_PIPELINE))
+
+        def explode(*args, **kwargs):
+            raise OSError("disk died mid-write")
+
+        monkeypatch.setattr(json_module, "dump", explode)
+        with pytest.raises(OSError):
+            queue.save(path)
+        monkeypatch.undo()
+
+        assert open(path, encoding="utf-8").read() == before
+        assert not os.path.exists(path + ".tmp")
+        loaded = DeadLetterQueue.load(path)
+        assert len(loaded) == 1  # the pre-crash save, byte-for-byte
 
     def test_metrics_gauge_and_counter(self):
         metrics = MetricsRegistry(SimulatedClock())

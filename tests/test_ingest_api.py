@@ -220,6 +220,16 @@ class TestBoundedFetchQueue:
         assert len(queue.next_batch(4)) == 1
         assert queue.next_batch(4) is None
 
+    def test_close_after_fail_is_a_no_op(self):
+        """The feeder thread closes the queue in its normal epilogue; if
+        the stream already failed, that close must not raise."""
+        queue = BoundedFetchQueue(8)
+        queue.put(Fetch("http://x/0.xml", "<r/>"))
+        queue.fail(XMLSyntaxError("stream died"))
+        queue.close()  # must not be a PipelineError
+        with pytest.raises(XMLSyntaxError):
+            queue.next_batch(4)
+
 
 class TestRunStreamThroughQueue:
     def test_queue_depth_saturates_at_bound(self):
@@ -277,6 +287,43 @@ class TestRunStreamThroughQueue:
             system.run_stream(from_pairs(pages), skip_malformed=False)
         # Documents after the failing batch never entered the pipeline.
         assert system.documents_fed < len(pages)
+
+    def test_feeder_thread_terminates_when_executor_raises(self):
+        """A consumer-side failure cancels the queue so the feeder's
+        blocked put unblocks — no orphaned producer thread survives."""
+        system = build_system(batch_size=2, queue_bound=2)
+
+        def exploding_feed_batch(batch, skip_malformed=True):
+            raise RuntimeError("executor died")
+
+        system.feed_batch = exploding_feed_batch
+        session = IngestSession(system, batch_size=2, queue_bound=2)
+        # 40 pages >> queue bound: the feeder is parked on a full put
+        # at the moment the executor raises.
+        with pytest.raises(RuntimeError, match="executor died"):
+            session.run(from_pairs(xml_pages(40)))
+        assert not any(
+            thread.name == "repro-ingest-feeder" and thread.is_alive()
+            for thread in threading.enumerate()
+        )
+
+    def test_crash_point_unwinds_the_feeder_thread(self):
+        """A simulated process death (BaseException, not Exception) must
+        also join the feeder before propagating."""
+        from repro.faults import CrashPoint, clear, install
+
+        system = build_system(batch_size=2, queue_bound=2)
+        session = IngestSession(system, batch_size=2, queue_bound=2)
+        install("post-fetch", at=1)
+        try:
+            with pytest.raises(CrashPoint):
+                session.run(from_pairs(xml_pages(40)))
+        finally:
+            clear()
+        assert not any(
+            thread.name == "repro-ingest-feeder" and thread.is_alive()
+            for thread in threading.enumerate()
+        )
 
     def test_stream_failure_loses_only_partial_tail(self):
         """A stream that raises mid-iteration matches old chunked()."""
